@@ -1,0 +1,86 @@
+// F16 — §5.4 / Prop 5.7: the fully compiled protocol. Demonstrates (a) the
+// sequence of common time paths follows the nondeterministic reference
+// program of Fig. 1, and (b) the flagship end-to-end run: compiled
+// LeaderElection — clock hierarchy, Π_τ-gated lowered rulesets, epidemics
+// and trigger-flag assignments — electing a unique leader on a real
+// population under the plain sequential scheduler.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "lang/compile.hpp"
+#include "protocols/leader_election.hpp"
+
+using namespace popproto;
+
+int main(int argc, char** argv) {
+  const BenchContext ctx = parse_bench_args(argc, argv);
+  print_experiment_header(
+      std::cout, "F16: Compiled execution",
+      "§5.4/Prop 5.7 — time paths sweep leaf slots in program order; the "
+      "compiled LeaderElection converges end to end.",
+      ctx);
+
+  // (a) Time-path sequence of a 3-leaf flat program.
+  {
+    Program p;
+    p.name = "flat3";
+    p.vars = make_var_space();
+    ProgramThread main;
+    main.name = "Main";
+    for (int i = 0; i < 3; ++i) main.body.push_back(execute_ruleset({}));
+    p.threads.push_back(std::move(main));
+    const std::size_t n = 600;
+    CompiledEngine eng(p, std::vector<State>(n, 0), make_fixed_x_driver(n, 5),
+                       ClockLevelParams{}, 0x7F16);
+    eng.run_rounds(3000.0);
+    std::vector<int> slots;
+    int violations = 0;
+    while (eng.rounds() < 40000.0 && slots.size() < 16) {
+      eng.run_rounds(20.0);
+      const auto tau = eng.common_time_path();
+      if (!tau) continue;
+      const int s = (*tau)[0];
+      if (!slots.empty() && slots.back() == s) continue;
+      if (!slots.empty() && s != slots.back() % 3 + 1) ++violations;
+      slots.push_back(s);
+    }
+    Table t({"observed slot sequence", "order violations"});
+    std::string seq;
+    for (int s : slots) seq += std::to_string(s) + " ";
+    t.row().add(seq).add(violations);
+    t.print(std::cout, "time-path slot sweep (expected cyclic 1 2 3 1 ...)",
+            ctx.csv);
+  }
+
+  // (b) Compiled LeaderElection end to end, a few population sizes.
+  {
+    Table t({"n", "module m", "leaves", "rounds to unique leader",
+             "program rule firings", "result"});
+    for (const std::size_t n : {300ull, 600ull, ctx.scale >= 2.0 ? 2400ull
+                                                                 : 1200ull}) {
+      auto vars = make_var_space();
+      const Program p = make_leader_election_program(vars);
+      CompiledEngine eng(p, std::vector<State>(n, 0),
+                         make_fixed_x_driver(n, 4), ClockLevelParams{},
+                         0x7F17 + n);
+      const auto t_conv = eng.run_until(
+          [&](const AgentPopulation& pop) {
+            return leader_count(pop, *vars) == 1;
+          },
+          600000.0, 200.0);
+      t.row()
+          .add(static_cast<std::uint64_t>(n))
+          .add(eng.hierarchy().params().level.module)
+          .add(static_cast<std::uint64_t>(eng.tree().num_leaves()))
+          .add(t_conv ? *t_conv : -1.0, 0)
+          .add(eng.program_rule_firings())
+          .add(t_conv ? "unique leader" : "TIMEOUT");
+    }
+    t.print(std::cout, "compiled LeaderElection (full construction)", ctx.csv);
+  }
+  std::cout << "Depth-2 compiled programs run at the level-2 clock's pace "
+               "(r^(2) = Θ(log^2 n) with large constants, see T7); their "
+               "time-path mechanics are exercised by the compiled_test "
+               "suite rather than timed here.\n";
+  return 0;
+}

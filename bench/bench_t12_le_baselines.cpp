@@ -1,0 +1,80 @@
+// T12 — §1.2 comparison for leader election: fratricide (folklore 2-state,
+// Θ(n)) vs LeaderElection (this paper, O(log^2 n)): who wins and where the
+// crossover falls.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/count_engine.hpp"
+#include "lang/runtime.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/leader_election.hpp"
+
+using namespace popproto;
+
+int main(int argc, char** argv) {
+  const BenchContext ctx = parse_bench_args(argc, argv);
+  print_experiment_header(
+      std::cout, "T12: Leader election vs fratricide",
+      "§1.2 — fratricide is Θ(n); LeaderElection is O(log^2 n): polylog "
+      "wins from moderate n onward.",
+      ctx);
+
+  const auto ns = pow2_range(8, ctx.scale >= 2.0 ? 17 : 15);
+  const std::size_t trials = scaled(10, ctx);
+
+  Table t(scaling_headers({"protocol"}));
+  auto ours = run_sweep(
+      ns, trials, 0x7C12,
+      [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
+        auto vars = make_var_space();
+        const Program p = make_leader_election_program(vars);
+        RuntimeOptions opts;
+        opts.seed = seed;
+        FrameworkRuntime rt(p, static_cast<std::size_t>(n), opts);
+        return rt.run_until(
+            [&](const AgentPopulation& pop) {
+              return leader_count(pop, *vars) == 1;
+            },
+            400);
+      });
+  auto frat = run_sweep(
+      ns, trials, 0x7C13,
+      [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
+        auto vars = make_var_space();
+        const Protocol p = make_fratricide_protocol(vars);
+        const VarId l = *vars->find("L");
+        CountEngine eng(p, {{var_bit(l), n}}, seed);
+        return eng.run_until(
+            [&](const CountEngine& e) {
+              return e.count_matching(BoolExpr::var(l)) == 1;
+            },
+            1e9);
+      });
+  for (const auto& r : ours) {
+    t.row().add("LeaderElection (this paper)");
+    add_scaling_columns(t, r);
+  }
+  for (const auto& r : frat) {
+    t.row().add("fratricide 2-state");
+    add_scaling_columns(t, r);
+  }
+  t.print(std::cout, "rounds to a unique leader", ctx.csv);
+
+  const PolylogChoice fo = fit_rows_polylog(ours, 3);
+  const LinearFit ff = fit_rows_power(frat);
+  std::cout << "ours       " << describe_polylog(fo)
+            << "   [paper: O(log^2 n)]\n";
+  std::cout << "fratricide ~ n^" << format_double(ff.slope, 2)
+            << " (R^2=" << format_double(ff.r_squared, 3)
+            << ")   [folklore: Θ(n)]\n";
+
+  // Crossover: first n in the sweep where our median beats fratricide's.
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    if (ours[i].value.median < frat[i].value.median) {
+      std::cout << "crossover: ours wins from n = " << ours[i].n << "\n";
+      break;
+    }
+  }
+  return 0;
+}

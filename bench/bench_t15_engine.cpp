@@ -1,0 +1,95 @@
+// T15 — substrate micro-benchmarks (google-benchmark): interaction
+// throughput of the agent engine, the count engine (direct vs skip-ahead),
+// and the typed clock machinery. These underpin the feasible n-ranges of
+// every other experiment.
+#include <benchmark/benchmark.h>
+
+#include "clocks/hierarchy.hpp"
+#include "clocks/oscillator.hpp"
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+#include "protocols/baselines.hpp"
+
+namespace popproto {
+namespace {
+
+void BM_AgentEngineEpidemic(benchmark::State& state) {
+  auto vars = make_var_space();
+  const VarId i = vars->intern("I");
+  Protocol p("epi", vars);
+  p.add_thread("T", {make_rule(BoolExpr::var(i), BoolExpr::any(),
+                               BoolExpr::any(), BoolExpr::var(i))});
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<State> init(n, 0);
+  init[0] = var_bit(i);
+  Engine eng(p, std::move(init), 1);
+  for (auto _ : state) eng.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentEngineEpidemic)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_CountEngineDirect(benchmark::State& state) {
+  auto vars = make_var_space();
+  const Protocol p = make_approximate_majority_protocol(vars);
+  const VarId a = *vars->find("BA");
+  const VarId b = *vars->find("BB");
+  CountEngine eng(p, {{var_bit(a), 1 << 19}, {var_bit(b), 1 << 19}}, 1,
+                  CountEngineMode::kDirect);
+  for (auto _ : state) eng.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountEngineDirect);
+
+void BM_CountEngineSkipAhead(benchmark::State& state) {
+  // Sparse dynamics: 32 X agents among 2^20; direct simulation would spend
+  // ~10^9 no-ops per effective event.
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  Protocol p("elim", vars);
+  p.add_thread("T", {make_rule(BoolExpr::var(x), BoolExpr::var(x),
+                               !BoolExpr::var(x), BoolExpr::any())});
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountEngine eng(p, {{var_bit(x), 32}, {0, (1 << 20) - 32}}, 1,
+                    CountEngineMode::kSkip);
+    state.ResumeTiming();
+    // Run until only one X remains (31 effective interactions).
+    while (eng.count_state(var_bit(x)) > 1) eng.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 31);
+}
+BENCHMARK(BM_CountEngineSkipAhead);
+
+void BM_OscillatorSimStep(benchmark::State& state) {
+  OscillatorSim sim = OscillatorSim::uniform(1 << 20, 1 << 6, 1);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OscillatorSimStep);
+
+void BM_ClockHierarchyStep(benchmark::State& state) {
+  HierarchyParams hp;
+  hp.levels = static_cast<int>(state.range(0));
+  ClockHierarchy h(1 << 14, hp, make_fixed_x_driver(1 << 14, 16), 1);
+  for (auto _ : state) h.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockHierarchyStep)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GuardCompilation(benchmark::State& state) {
+  auto vars = make_var_space();
+  std::vector<BoolExpr> exprs;
+  for (int i = 0; i < 6; ++i)
+    exprs.push_back(BoolExpr::var(vars->intern("V" + std::to_string(i))));
+  const BoolExpr formula =
+      (exprs[0] && !exprs[1]) || (exprs[2] && exprs[3] && !exprs[4]) ||
+      !exprs[5];
+  for (auto _ : state) {
+    Guard g(formula);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GuardCompilation);
+
+}  // namespace
+}  // namespace popproto

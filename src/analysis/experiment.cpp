@@ -1,0 +1,66 @@
+#include "analysis/experiment.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+std::vector<ScalingRow> run_sweep(const std::vector<std::uint64_t>& ns,
+                                  std::size_t trials, std::uint64_t seed,
+                                  const TrialFn& fn) {
+  POPPROTO_CHECK(trials >= 1);
+  std::vector<ScalingRow> rows;
+  std::uint64_t sm = seed;
+  for (std::uint64_t n : ns) {
+    ScalingRow row;
+    row.n = n;
+    row.trials = trials;
+    std::vector<double> values;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed = splitmix64(sm);
+      if (auto v = fn(n, trial_seed)) {
+        values.push_back(*v);
+        ++row.successes;
+      }
+    }
+    row.value = summarize(std::move(values));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+void medians(const std::vector<ScalingRow>& rows, std::vector<double>& ns,
+             std::vector<double>& ys) {
+  for (const auto& r : rows) {
+    if (r.successes == 0) continue;
+    ns.push_back(static_cast<double>(r.n));
+    ys.push_back(r.value.median);
+  }
+  POPPROTO_CHECK_MSG(ns.size() >= 2, "not enough data points for a fit");
+}
+
+}  // namespace
+
+PolylogChoice fit_rows_polylog(const std::vector<ScalingRow>& rows,
+                               int max_power) {
+  std::vector<double> ns, ys;
+  medians(rows, ns, ys);
+  return best_polylog_power(ns, ys, max_power);
+}
+
+LinearFit fit_rows_power(const std::vector<ScalingRow>& rows) {
+  std::vector<double> ns, ys;
+  medians(rows, ns, ys);
+  return fit_power_law(ns, ys);
+}
+
+std::vector<std::uint64_t> pow2_range(int lo, int hi) {
+  POPPROTO_CHECK(lo >= 1 && hi >= lo && hi < 63);
+  std::vector<std::uint64_t> out;
+  for (int e = lo; e <= hi; ++e) out.push_back(1ull << e);
+  return out;
+}
+
+}  // namespace popproto

@@ -1,0 +1,43 @@
+// Experiment harness: seeded trial sweeps over population sizes, with
+// aggregation and scaling-law fits against the paper's claims.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "support/fitting.hpp"
+#include "support/stats.hpp"
+
+namespace popproto {
+
+/// One trial: given (n, seed), return the measured value (e.g. rounds to
+/// convergence) or nullopt when the trial failed / timed out.
+using TrialFn =
+    std::function<std::optional<double>(std::uint64_t n, std::uint64_t seed)>;
+
+struct ScalingRow {
+  std::uint64_t n = 0;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  Summary value;  // over successful trials
+};
+
+/// Run `trials` seeded trials of fn at every n (seeds derived from `seed`
+/// via splitmix64, so every table is reproducible).
+std::vector<ScalingRow> run_sweep(const std::vector<std::uint64_t>& ns,
+                                  std::size_t trials, std::uint64_t seed,
+                                  const TrialFn& fn);
+
+/// Fit the per-n medians to a * (ln n)^p, trying p = 1..max_power.
+PolylogChoice fit_rows_polylog(const std::vector<ScalingRow>& rows,
+                               int max_power);
+
+/// Fit the per-n medians to c * n^e.
+LinearFit fit_rows_power(const std::vector<ScalingRow>& rows);
+
+/// Geometric n-range 2^lo .. 2^hi.
+std::vector<std::uint64_t> pow2_range(int lo, int hi);
+
+}  // namespace popproto

@@ -1,0 +1,50 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace popproto {
+
+BenchContext parse_bench_args(int argc, char** argv) {
+  BenchContext ctx;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--csv") == 0) ctx.csv = true;
+  if (const char* s = std::getenv("POPPROTO_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) ctx.scale = v;
+  }
+  return ctx;
+}
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& claim,
+                             const BenchContext& ctx) {
+  os << "## " << id << "\n";
+  os << "Paper claim: " << claim << "\n";
+  os << "(scale=" << format_double(ctx.scale, 2)
+     << "; set POPPROTO_SCALE to enlarge the sweep)\n\n";
+}
+
+void add_scaling_columns(Table& table, const ScalingRow& row) {
+  table.add(row.n);
+  table.add_fraction(row.successes, row.trials);
+  table.add(row.value.median, 1);
+  table.add(row.value.mean, 1);
+  table.add(row.value.p10, 1);
+  table.add(row.value.p90, 1);
+}
+
+std::vector<std::string> scaling_headers(std::vector<std::string> prefix) {
+  for (const char* h : {"n", "ok", "median", "mean", "p10", "p90"})
+    prefix.emplace_back(h);
+  return prefix;
+}
+
+std::size_t scaled(std::size_t base, const BenchContext& ctx) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(base) * ctx.scale));
+}
+
+}  // namespace popproto

@@ -1,0 +1,36 @@
+// Shared bench-binary scaffolding: argument/environment handling and
+// consistent experiment headers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "support/table.hpp"
+
+namespace popproto {
+
+struct BenchContext {
+  bool csv = false;    // --csv: emit CSV instead of markdown
+  double scale = 1.0;  // POPPROTO_SCALE: multiplies sweep sizes/trials
+};
+
+BenchContext parse_bench_args(int argc, char** argv);
+
+/// Print the experiment banner: id, the paper claim being reproduced, and
+/// the knobs in effect.
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& claim,
+                             const BenchContext& ctx);
+
+/// Append the standard columns of a scaling sweep to a table
+/// (n, trials ok, median, mean, p10, p90).
+void add_scaling_columns(Table& table, const ScalingRow& row);
+
+/// Headers matching add_scaling_columns, prefixed by caller columns.
+std::vector<std::string> scaling_headers(std::vector<std::string> prefix);
+
+/// Scale a trial count / size by ctx.scale (at least 1).
+std::size_t scaled(std::size_t base, const BenchContext& ctx);
+
+}  // namespace popproto

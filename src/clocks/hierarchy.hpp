@@ -1,0 +1,126 @@
+// Hierarchy of phase clocks with logarithmically separated rates (paper
+// §5.3).
+//
+// Level 1 is a native oscillator + believer + mod-m digit clock
+// (clocks/phase_clock.hpp). Every level j >= 2 is a fresh copy of the same
+// clock whose rules execute only through the *slowed matching scheduler*
+// emulated by level j-1:
+//
+//   * every agent keeps a current and a new copy of its level-j clock state
+//     plus a trigger flag S;
+//   * when two agents meet while both their level-(j-1) digits equal the
+//     same value divisible by 4 and both triggers are set, they simulate
+//     one level-j interaction on the current copies, write the results to
+//     the new copies, and clear the triggers — so each agent takes part in
+//     at most one level-j interaction per window, and the set of pairs
+//     formed during a window is (nearly) a uniform random matching;
+//   * when the pair meets in a window two digits later (digit ≡ 2 mod 4),
+//     agents that participated commit new -> current and re-arm the
+//     trigger.
+//
+// One matching activation per stride-4 digit window of level j-1 slows
+// level j by a factor Θ(r^(j-1)), giving rates r^(j) = Θ((α ln n)^j) — the
+// paper's clock hierarchy. All levels share one control state X, provided
+// by a pluggable XDriver (clocks/x_control.hpp) composed as its own thread.
+//
+// For stable reads, each agent stores a local copy C*^{(j)} of its level-j
+// digit, refreshed at the start of every level-(j-1) cycle (digit 0) and
+// consensus-corrected pairwise at digit 2 by "the later of the two values"
+// (§5.3). Program compilation (src/lang/compile.hpp) gates rulesets on the
+// time path τ = (live level-1 digit, C*^{(2)}, ..., C*^{(L)}) — Π_τ of §5.4.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clocks/phase_clock.hpp"
+#include "clocks/x_control.hpp"
+
+namespace popproto {
+
+struct HierarchyParams {
+  int levels = 2;  // l_max: number of clocks in the hierarchy
+  ClockLevelParams level;  // believer k, digit modulus m, oscillator params
+};
+
+class ClockHierarchy {
+ public:
+  ClockHierarchy(std::size_t n, const HierarchyParams& params,
+                 std::unique_ptr<XDriver> x_driver, std::uint64_t seed);
+
+  /// Threads composed into the clock machinery: thread 0 is the X driver,
+  /// thread 1 the native level-1 clock, thread j (2..levels) the slowed
+  /// driver of level j.
+  int num_threads() const { return params_.levels + 1; }
+
+  /// One clock interaction for the ordered pair (a, b): picks one of the
+  /// composed threads u.a.r. and executes it. Used both by step() and by
+  /// the compiled-protocol engine, which interleaves program threads.
+  void interact(std::size_t a, std::size_t b);
+  void interact_thread(std::size_t a, std::size_t b, int thread);
+
+  /// One sequential scheduler step (random ordered pair + interact()).
+  void step();
+  void run_rounds(double rounds);
+  double rounds() const {
+    return static_cast<double>(interactions_) / static_cast<double>(n_);
+  }
+  /// External callers (the compiled engine) account interactions themselves.
+  void add_interactions(std::uint64_t k) { interactions_ += k; }
+
+  std::size_t n() const { return n_; }
+  Rng& rng() { return rng_; }
+  const HierarchyParams& params() const { return params_; }
+  const XDriver& x_driver() const { return *x_driver_; }
+  bool is_x(std::size_t agent) const { return x_driver_->is_x(agent); }
+
+  /// Live digit of clock `level` (1-based) for an agent. For level >= 2
+  /// this is the committed ("current") copy.
+  int live_digit(std::size_t agent, int level) const;
+  /// Stored local copy C*^{(level)}; defined for level >= 2.
+  int star_digit(std::size_t agent, int level) const;
+  /// The full level state (inspection / tests).
+  const ClockAgent& clock_state(std::size_t agent, int level) const;
+
+  /// Program-gating slot at `level` for an agent: digit/4 when the gating
+  /// digit (live for level 1, starred for level >= 2) is divisible by 4 and
+  /// the slot lies in [1, width]; -1 otherwise ("this level is between
+  /// slots"). See §5.4.
+  int slot(std::size_t agent, int level, int width) const;
+
+  /// Cumulative digit ticks at each level across the whole population
+  /// (level-j rate estimate: interval = n * Δrounds / Δticks).
+  std::uint64_t total_ticks(int level) const {
+    return total_ticks_[static_cast<std::size_t>(level - 1)];
+  }
+
+  /// The time path (slot vector, innermost level first) if every level is
+  /// currently on a valid slot for this agent; nullopt = ⊥.
+  std::optional<std::vector<int>> time_path(std::size_t agent,
+                                            const std::vector<int>& widths) const;
+
+ private:
+  struct SlowLevel {
+    ClockAgent cur;
+    ClockAgent nxt;
+    bool trigger = true;
+    std::uint8_t star = 0;
+  };
+
+  void level1_interact(std::size_t a, std::size_t b);
+  void slow_level_interact(std::size_t a, std::size_t b, int level);
+  int gating_digit(std::size_t agent, int below_level) const;
+
+  std::size_t n_;
+  HierarchyParams params_;
+  std::unique_ptr<XDriver> x_driver_;
+  Rng rng_;
+  std::vector<ClockAgent> level1_;
+  // slow_[j-2][agent]: state of level j (j >= 2).
+  std::vector<std::vector<SlowLevel>> slow_;
+  std::vector<std::uint64_t> total_ticks_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace popproto

@@ -1,0 +1,236 @@
+#include "clocks/oscillator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+namespace {
+
+inline int prey_of(int i) { return (i + 2) % 3; }
+
+}  // namespace
+
+Protocol make_oscillator_protocol(VarSpacePtr vars,
+                                  const OscillatorParams& params) {
+  const VarId b0 = vars->intern(kOscBit0);
+  const VarId b1 = vars->intern(kOscBit1);
+  const VarId lvl = vars->intern(kOscLvl);
+  const VarId x = vars->intern(kOscX);
+
+  auto species_bits = [&](int i) {
+    BoolExpr e0 = (i & 1) ? BoolExpr::var(b0) : !BoolExpr::var(b0);
+    BoolExpr e1 = (i & 2) ? BoolExpr::var(b1) : !BoolExpr::var(b1);
+    return e0 && e1;
+  };
+  auto species_guard = [&](int i) { return !BoolExpr::var(x) && species_bits(i); };
+
+  std::vector<Rule> rules;
+  for (int i = 0; i < 3; ++i) {
+    const int prey = prey_of(i);
+    // Strong predation: always succeeds; the convert enters at level +.
+    rules.push_back(make_rule(
+        species_guard(i) && BoolExpr::var(lvl), species_guard(prey),
+        BoolExpr::any(), species_bits(i) && !BoolExpr::var(lvl),
+        "pred_strong_A" + std::to_string(i + 1)));
+    // Weak predation: succeeds with probability weak_predation_p.
+    Outcome weak;
+    weak.probability = params.weak_predation_p;
+    weak.responder = update_from_formula(species_bits(i) && !BoolExpr::var(lvl));
+    rules.emplace_back(species_guard(i) && !BoolExpr::var(lvl),
+                       species_guard(prey), std::vector<Outcome>{weak},
+                       "pred_weak_A" + std::to_string(i + 1));
+    // Activation on meeting the same species.
+    rules.push_back(make_rule(species_guard(i),
+                              species_guard(i) && !BoolExpr::var(lvl),
+                              BoolExpr::any(), BoolExpr::var(lvl),
+                              "act_A" + std::to_string(i + 1)));
+    // Deactivation on meeting a different species.
+    for (int j = 0; j < 3; ++j) {
+      if (j == i) continue;
+      rules.push_back(make_rule(species_guard(i),
+                                species_guard(j) && BoolExpr::var(lvl),
+                                BoolExpr::any(), !BoolExpr::var(lvl),
+                                "deact_A" + std::to_string(j + 1) + "_by_A" +
+                                    std::to_string(i + 1)));
+    }
+  }
+  // Source: X converts any species agent to a uniformly random species at +.
+  std::vector<Outcome> src;
+  for (int u = 0; u < 3; ++u) {
+    Outcome o;
+    o.probability = 1.0 / 3.0;
+    o.responder = update_from_formula(species_bits(u) && !BoolExpr::var(lvl));
+    src.push_back(o);
+  }
+  rules.emplace_back(BoolExpr::var(x), !BoolExpr::var(x), std::move(src),
+                     "src_X");
+
+  Protocol proto("oscillator", std::move(vars));
+  proto.add_thread("Oscillator", std::move(rules));
+  return proto;
+}
+
+int oscillator_species_of(State s, const VarSpace& vars) {
+  const auto b0 = vars.find(kOscBit0);
+  const auto b1 = vars.find(kOscBit1);
+  const auto x = vars.find(kOscX);
+  POPPROTO_CHECK(b0 && b1 && x);
+  if (var_is_set(s, *x)) return -1;  // control agent, no species
+  return (var_is_set(s, *b0) ? 1 : 0) + (var_is_set(s, *b1) ? 2 : 0);
+}
+
+bool oscillator_interact(const OscAgent* initiator, bool initiator_is_x,
+                         OscAgent& responder, Rng& rng,
+                         const OscillatorParams& params) {
+  if (initiator_is_x) {
+    responder.species = static_cast<std::uint8_t>(rng.below(3));
+    responder.strong = false;
+    return true;
+  }
+  POPPROTO_DCHECK(initiator != nullptr);
+  bool changed = false;
+  // Level refresh: activated by the same species, deactivated by others.
+  if (initiator->species == responder.species) {
+    if (!responder.strong) {
+      responder.strong = true;
+      changed = true;
+    }
+  } else if (responder.strong) {
+    responder.strong = false;
+    changed = true;
+  }
+  // Predation (the responder may just have been deactivated; conversion
+  // resets it to + anyway).
+  if (responder.species == prey_of(initiator->species)) {
+    if (initiator->strong || rng.chance(params.weak_predation_p)) {
+      responder.species = initiator->species;
+      responder.strong = false;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+OscillatorSim::OscillatorSim(std::array<std::array<std::uint64_t, 2>, 3> counts,
+                             std::uint64_t x_count, std::uint64_t seed,
+                             const OscillatorParams& params)
+    : counts_(counts), x_(x_count), rng_(seed), params_(params) {
+  n_ = x_;
+  for (const auto& sp : counts_) n_ += sp[0] + sp[1];
+  POPPROTO_CHECK(n_ >= 2);
+  POPPROTO_CHECK(params_.weak_predation_p > 0.0 && params_.weak_predation_p < 1.0);
+}
+
+OscillatorSim OscillatorSim::uniform(std::uint64_t n, std::uint64_t x_count,
+                                     std::uint64_t seed,
+                                     const OscillatorParams& params) {
+  POPPROTO_CHECK(n > x_count);
+  const std::uint64_t rest = n - x_count;
+  std::array<std::array<std::uint64_t, 2>, 3> c{};
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < 3; ++i)
+    for (int l = 0; l < 2; ++l) {
+      c[static_cast<std::size_t>(i)][static_cast<std::size_t>(l)] = rest / 6;
+      assigned += rest / 6;
+    }
+  c[0][0] += rest - assigned;  // remainder
+  return OscillatorSim(c, x_count, seed, params);
+}
+
+double OscillatorSim::rounds() const {
+  return static_cast<double>(interactions_) / static_cast<double>(n_) +
+         static_cast<double>(matching_rounds_);
+}
+
+int OscillatorSim::sample_type(int excluded_type) {
+  std::uint64_t total = n_;
+  if (excluded_type >= 0) --total;
+  std::uint64_t r = rng_.below(total);
+  for (int t = 0; t < 6; ++t) {
+    std::uint64_t c = counts_[static_cast<std::size_t>(t / 2)]
+                             [static_cast<std::size_t>(t % 2)];
+    if (t == excluded_type) --c;
+    if (r < c) return t;
+    r -= c;
+  }
+  return 6;  // X
+}
+
+void OscillatorSim::interact_types(int type_a, int type_b) {
+  if (type_b == 6) return;  // control agents are never modified
+  OscAgent resp{static_cast<std::uint8_t>(type_b / 2), (type_b % 2) != 0};
+  bool changed;
+  if (type_a == 6) {
+    changed = oscillator_interact(nullptr, true, resp, rng_, params_);
+  } else {
+    const OscAgent init{static_cast<std::uint8_t>(type_a / 2),
+                        (type_a % 2) != 0};
+    changed = oscillator_interact(&init, false, resp, rng_, params_);
+  }
+  if (!changed) return;
+  --counts_[static_cast<std::size_t>(type_b / 2)]
+           [static_cast<std::size_t>(type_b % 2)];
+  ++counts_[resp.species][resp.strong ? 1 : 0];
+}
+
+void OscillatorSim::step() {
+  const int a = sample_type(-1);
+  const int b = sample_type(a);
+  ++interactions_;
+  interact_types(a, b);
+}
+
+void OscillatorSim::matching_round() {
+  // Draw disjoint pairs without replacement from the start-of-round pool.
+  std::array<std::uint64_t, 7> rem = {counts_[0][0], counts_[0][1],
+                                      counts_[1][0], counts_[1][1],
+                                      counts_[2][0], counts_[2][1], x_};
+  std::uint64_t total = n_;
+  auto draw = [&]() {
+    std::uint64_t r = rng_.below(total);
+    for (int t = 0; t < 7; ++t) {
+      if (r < rem[static_cast<std::size_t>(t)]) {
+        --rem[static_cast<std::size_t>(t)];
+        --total;
+        return t;
+      }
+      r -= rem[static_cast<std::size_t>(t)];
+    }
+    POPPROTO_CHECK_MSG(false, "draw fell through");
+    return 0;
+  };
+  while (total >= 2) {
+    const int a = draw();
+    const int b = draw();
+    interact_types(a, b);
+  }
+  ++matching_rounds_;
+}
+
+void OscillatorSim::run_rounds(double rounds_to_run, bool matching_scheduler) {
+  const double target = rounds() + rounds_to_run;
+  if (matching_scheduler) {
+    while (rounds() < target) matching_round();
+  } else {
+    while (rounds() < target) step();
+  }
+}
+
+std::uint64_t OscillatorSim::a_min() const {
+  return std::min({species(0), species(1), species(2)});
+}
+
+std::uint64_t OscillatorSim::a_max() const {
+  return std::max({species(0), species(1), species(2)});
+}
+
+int OscillatorSim::dominant() const {
+  int best = 0;
+  for (int i = 1; i < 3; ++i)
+    if (species(i) > species(best)) best = i;
+  return best;
+}
+
+}  // namespace popproto

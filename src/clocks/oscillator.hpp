@@ -1,0 +1,129 @@
+// Self-stabilizing 3-species two-level oscillator (paper §5.2; protocol P_o
+// after [DK18] — 7 states: A_i^+ / A_i^++ for i in {1,2,3} plus the control
+// state X; see DESIGN.md §3.1 for the analysis of this concrete ruleset).
+//
+// Dynamics, per ordered interaction (initiator, responder):
+//   * strong predation:  A_i^{++} + A_{i-1}^{±} -> A_i^{++} + A_i^{+}
+//   * weak predation:    A_i^{+}  + A_{i-1}^{±} -> A_i^{+}  + A_i^{+},
+//                        succeeding with probability 1/2
+//   * activation:        A_i^{±}  + A_i^{+}     -> A_i^{±}  + A_i^{++}
+//   * deactivation:      A_i^{±}  + A_j^{++}    -> A_i^{±}  + A_j^{+}, j != i
+//   * source:            X + A_j^{±} -> X + A_u^{+}, u uniform in {1,2,3}
+//
+// Why this oscillates (mean-field): the activated fraction of species j
+// tracks its abundance (q_j ≈ x_j), so the effective predation rate of
+// species i is (1 + x_i)/2 — large species press their advantage. For
+// V = Σ log x_i this gives dV/dt ≈ -Σu²/12 near the uniform point (u = the
+// displacement), i.e. the interior fixed point is *repelling* and the
+// stochastic Θ(n^{-1/2}) fluctuation floor is amplified to macroscopic
+// amplitude in O(log n) rounds (Thm 5.1(i)). Far from the interior the
+// rising species grows at rate ≥ 1/2 per round (predation never drops below
+// the weak rate), giving epidemic Θ(log n) phases and the cyclic dominance
+// order A_1 -> A_2 -> A_3 (Thm 5.1(ii)). X re-seeds species, so nothing goes
+// extinct while #X ≥ 1, and injects only O(#X/n) noise per round.
+//
+// Exposed in two forms:
+//   * make_oscillator_protocol(): a bitmask Protocol over a shared VarSpace
+//     (species in two bits, level bit, X flag) driven by the standard
+//     "sample one rule u.a.r. per interaction" scheduler convention;
+//   * OscillatorSim: a typed count-based simulator applying all matching
+//     rules systematically per interaction (the standard top-down-execution
+//     translation, §1.3), exact and O(1) per interaction, supporting both
+//     sequential and random-matching schedulers. Used by the Theorem 5.1
+//     experiments at large n.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+struct OscillatorParams {
+  /// Success probability of *weak* predation (strong predation always
+  /// succeeds). 1/2 is the reference value; must lie in (0, 1).
+  double weak_predation_p = 0.5;
+};
+
+/// Variable names used by the bitmask encoding: species bits (values 0,1,2 =
+/// A1,A2,A3; 3 unused), the activation level bit, and the control flag X.
+inline constexpr const char* kOscBit0 = "OSC_S0";
+inline constexpr const char* kOscBit1 = "OSC_S1";
+inline constexpr const char* kOscLvl = "OSC_LVL";
+inline constexpr const char* kOscX = "OSC_X";
+
+/// Build the oscillator ruleset as a single-thread Protocol on `vars`.
+Protocol make_oscillator_protocol(VarSpacePtr vars,
+                                  const OscillatorParams& params = {});
+
+/// Species index (0..2) held in a bitmask state, or -1 for a control agent.
+int oscillator_species_of(State s, const VarSpace& vars);
+
+/// One agent's oscillator component, used by the typed simulators and by
+/// the clock machinery (clocks/phase_clock.hpp, clocks/hierarchy.hpp).
+struct OscAgent {
+  std::uint8_t species = 0;  // 0..2
+  bool strong = false;       // + (false) vs ++ (true)
+};
+
+/// Systematic interaction semantics shared by all typed simulators: the
+/// responder observes the initiator (activation/deactivation refresh) and is
+/// then preyed upon if applicable. `initiator_is_x` marks a control agent
+/// acting as source. Returns true when the responder changed.
+bool oscillator_interact(const OscAgent* initiator, bool initiator_is_x,
+                         OscAgent& responder, Rng& rng,
+                         const OscillatorParams& params);
+
+/// Typed exact simulator over (species, level) counts.
+class OscillatorSim {
+ public:
+  /// counts[i][l]: abundance of species i at level l (0 = +, 1 = ++).
+  OscillatorSim(std::array<std::array<std::uint64_t, 2>, 3> counts,
+                std::uint64_t x_count, std::uint64_t seed,
+                const OscillatorParams& params = {});
+
+  /// Uniform split of (n - x_count) agents across the six oscillator states.
+  static OscillatorSim uniform(std::uint64_t n, std::uint64_t x_count,
+                               std::uint64_t seed,
+                               const OscillatorParams& params = {});
+
+  /// One sequential interaction (ordered random pair).
+  void step();
+
+  /// One random-matching round: disjoint pairs drawn without replacement
+  /// from the start-of-round configuration.
+  void matching_round();
+
+  void run_rounds(double rounds, bool matching_scheduler = false);
+
+  std::uint64_t species(int i) const {
+    return counts_[static_cast<std::size_t>(i)][0] +
+           counts_[static_cast<std::size_t>(i)][1];
+  }
+  std::uint64_t x_count() const { return x_; }
+  std::uint64_t n() const { return n_; }
+  double rounds() const;
+
+  std::uint64_t a_min() const;
+  std::uint64_t a_max() const;
+  /// Index of the currently largest species.
+  int dominant() const;
+
+ private:
+  // Internal agent types: 0..5 = (species, level), 6 = X.
+  int sample_type(int excluded_type);
+  void interact_types(int type_a, int type_b);
+
+  std::array<std::array<std::uint64_t, 2>, 3> counts_;
+  std::uint64_t x_;
+  std::uint64_t n_;
+  Rng rng_;
+  OscillatorParams params_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t matching_rounds_ = 0;
+};
+
+}  // namespace popproto

@@ -1,0 +1,142 @@
+#include "clocks/phase_clock.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+bool believer_observe(ClockAgent& self, int other_species,
+                      const ClockLevelParams& params) {
+  // Only the successor of the believed species builds a certificate streak
+  // (the paper's C'_s chain): anything else — a control partner, the
+  // believed species itself, or the *previous* dominant (which is still
+  // large while it decays and must never be mistaken for progress) — breaks
+  // the streak. An agent that misses a phase certificate entirely is pulled
+  // forward by phase_adopt instead.
+  const int awaited = (static_cast<int>(self.believed) + 1) % 3;
+  if (other_species != awaited) {
+    self.streak = 0;
+    return false;
+  }
+  ++self.streak;
+  if (self.streak < params.believer_k) return false;
+  // Certificate complete: advance the believed phase; the digit ticks when
+  // the phase wraps 2 -> 0.
+  const bool ticked = awaited == 0;
+  self.believed = static_cast<std::uint8_t>(awaited);
+  self.streak = 0;
+  if (ticked)
+    self.digit = static_cast<std::uint8_t>((self.digit + 1) % params.module);
+  return ticked;
+}
+
+bool phase_adopt(ClockAgent& self, const ClockAgent& seen,
+                 const ClockLevelParams& params) {
+  const int cycle = 3 * params.module;
+  const int ahead = (composite_phase(seen) - composite_phase(self) + cycle) % cycle;
+  if (ahead == 0 || ahead >= cycle / 2) return false;
+  const bool digit_changed = self.digit != seen.digit;
+  self.believed = seen.believed;
+  self.digit = seen.digit;
+  self.streak = 0;
+  return digit_changed;
+}
+
+int clock_level_interact(ClockAgent& a, bool a_is_x, ClockAgent& b, bool b_is_x,
+                         Rng& rng, const ClockLevelParams& params) {
+  // Oscillator component: a acts on b. Species observed by the believers
+  // are the pre-interaction ones (both orderings are equivalent up to one
+  // interaction of slack during phase transitions).
+  const int species_of_a = a_is_x ? -1 : static_cast<int>(a.osc.species);
+  const int species_of_b = b_is_x ? -1 : static_cast<int>(b.osc.species);
+  if (!b_is_x) {
+    if (a_is_x) {
+      oscillator_interact(nullptr, true, b.osc, rng, params.osc);
+    } else {
+      oscillator_interact(&a.osc, false, b.osc, rng, params.osc);
+    }
+  }
+  int ticks = 0;
+  if (believer_observe(a, species_of_b, params)) ++ticks;
+  if (believer_observe(b, species_of_a, params)) ++ticks;
+  // Synchronization: the earlier side of the pair adopts the later phase.
+  if (phase_adopt(a, b, params)) ++ticks;
+  if (phase_adopt(b, a, params)) ++ticks;
+  return ticks;
+}
+
+PhaseClockSim::PhaseClockSim(std::size_t n, std::size_t x_count,
+                             std::uint64_t seed, const ClockLevelParams& params)
+    : n_(n), x_count_(x_count), params_(params), agents_(n), rng_(seed) {
+  POPPROTO_CHECK(n >= 2 && x_count < n);
+  POPPROTO_CHECK(params_.believer_k >= 1);
+  POPPROTO_CHECK(params_.module >= 2);
+  for (std::size_t i = x_count_; i < n_; ++i) {
+    agents_[i].osc.species = static_cast<std::uint8_t>((i - x_count_) % 3);
+    ++species_counts_[agents_[i].osc.species];
+  }
+}
+
+void PhaseClockSim::step() {
+  const auto [ia, ib] = rng_.distinct_pair(n_);
+  ++interactions_;
+  ClockAgent& a = agents_[ia];
+  ClockAgent& b = agents_[ib];
+  const bool ax = is_x(ia);
+  const bool bx = is_x(ib);
+  const std::uint8_t old_species_b = b.osc.species;
+  const std::uint8_t old_digit_a = a.digit;
+  const std::uint8_t old_digit_b = b.digit;
+  const int ticks = clock_level_interact(a, ax, b, bx, rng_, params_);
+  total_ticks_ += static_cast<std::uint64_t>(ticks);
+  if (!bx && b.osc.species != old_species_b) {
+    --species_counts_[old_species_b];
+    ++species_counts_[b.osc.species];
+  }
+  const std::size_t observed = n_ - 1;
+  if ((ia == observed && a.digit != old_digit_a) ||
+      (ib == observed && b.digit != old_digit_b))
+    tick_times_.push_back(rounds());
+}
+
+void PhaseClockSim::run_rounds(double rounds_to_run) {
+  const auto target = static_cast<std::uint64_t>(
+      (rounds() + rounds_to_run) * static_cast<double>(n_));
+  while (interactions_ < target) step();
+}
+
+int PhaseClockSim::digit_spread() const {
+  // Digits live on a cycle of length m; the spread is the arc length of the
+  // smallest arc containing every occupied digit.
+  const int m = params_.module;
+  std::vector<bool> occupied(static_cast<std::size_t>(m), false);
+  for (const auto& ag : agents_) occupied[ag.digit] = true;
+  int longest_gap = 0;
+  int run = 0;
+  for (int pass = 0; pass < 2 * m; ++pass) {
+    if (!occupied[static_cast<std::size_t>(pass % m)]) {
+      ++run;
+      longest_gap = std::max(longest_gap, std::min(run, m));
+    } else {
+      run = 0;
+    }
+  }
+  const int spread = m - longest_gap - 1;
+  return spread > 0 ? spread : 0;
+}
+
+int circular_distance(int a, int b, int m) {
+  const int d = std::abs(a - b) % m;
+  return std::min(d, m - d);
+}
+
+int circular_later(int a, int b, int m) {
+  if (a == b) return a;
+  if ((a + 1) % m == b) return b;
+  if ((b + 1) % m == a) return a;
+  return std::max(a, b);
+}
+
+}  // namespace popproto

@@ -1,0 +1,138 @@
+// Base phase clock C_o (paper §5.2, Theorem 5.2) and its modulo-m extension
+// (§5.1).
+//
+// Each agent runs a "believer" automaton locked to the oscillator: it
+// remembers which species it currently believes to be dominant and advances
+// that belief to its cyclic successor only after k *consecutive* meetings
+// with agents of that successor (any miss resets the streak) — the paper's
+// C'_s chain, which makes a false advance during the wrong oscillator phase
+// happen with probability f^k for minority fraction f. An agent that fails
+// to certify a phase (small constant probability per cycle at practical n)
+// is re-synchronized by *phase adoption*: an agent circularly behind on the
+// composite (digit, phase) cycle adopts the later value from its partner —
+// the pull-forward consensus the paper uses for the C* copies (§5.3,
+// "defaulting to the larger of the values"; cf. also the leaderless clocks
+// of [AAG18]). Together these keep the whole population within one digit of
+// each other over arbitrarily long windows, which is what Definition 2.2
+// (synchronized iterations) consumes. See DESIGN.md §3.1.
+//
+// The modulo-m extension (§5.1): each agent keeps a digit in [0, m)
+// incremented whenever its believed phase wraps 2 -> 0; one tick per
+// oscillator period. The digit gates both the clock hierarchy (§5.3) and
+// compiled program rulesets (§5.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "clocks/oscillator.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+struct ClockLevelParams {
+  /// Consecutive-meeting requirement k; false-advance probability during the
+  /// wrong oscillator phase is f^k for minority fraction f, so k must exceed
+  /// 3/eps for the Theorem 5.1 parameter eps (default suits eps = 1/2).
+  int believer_k = 6;
+  /// Digit modulus m. Levels that drive a higher clock or gate program
+  /// rulesets use digit windows of stride 4, so m must be divisible by 4.
+  int module = 8;
+  OscillatorParams osc;
+};
+
+/// One agent's full single-level clock state.
+struct ClockAgent {
+  OscAgent osc;
+  std::uint8_t believed = 0;  // species currently believed dominant (0..2)
+  std::uint8_t streak = 0;    // certificate streak length so far
+  std::uint8_t digit = 0;     // mod-m phase
+};
+
+/// Believer update of `self` observing the species of its interaction
+/// partner (`other_species` = -1 for a control/X partner, which always
+/// breaks the streak). Returns true when the digit ticked.
+bool believer_observe(ClockAgent& self, int other_species,
+                      const ClockLevelParams& params);
+
+/// Composite circular phase of an agent: digit * 3 + believed, living on a
+/// cycle of length 3m. All clock-phase comparisons use this value.
+inline int composite_phase(const ClockAgent& a) {
+  return static_cast<int>(a.digit) * 3 + static_cast<int>(a.believed);
+}
+
+/// Phase adoption (synchronization): if `self` is circularly behind `seen`
+/// on the composite cycle (distance in [1, 3m/2)), it adopts the later
+/// (believed, digit) pair and drops its streak. This is the standard
+/// pull-to-maximum correction of leaderless phase clocks (cf. [AAG18] and
+/// the §5.3 consensus default "the larger of the values"): during correct
+/// operation all agents sit within one phase of each other, so adoption
+/// only snaps stragglers forward; it is what erases the digit offsets
+/// accumulated during the pre-oscillatory startup. Returns true when the
+/// adoption crossed a digit boundary (counts as a tick for the adopter).
+bool phase_adopt(ClockAgent& self, const ClockAgent& seen,
+                 const ClockLevelParams& params);
+
+/// Full systematic single-level clock interaction for an ordered pair:
+/// oscillator action of a on b, then believer updates and phase adoption of
+/// both sides. Control agents (is_x) hold no species but still run
+/// believers/digits. Returns the number of digit ticks that occurred (0..4).
+int clock_level_interact(ClockAgent& a, bool a_is_x, ClockAgent& b, bool b_is_x,
+                         Rng& rng, const ClockLevelParams& params);
+
+/// Agent-based simulator of one oscillator + believer + digit level, with a
+/// fixed X-set. Used by the Theorem 5.2 experiments.
+class PhaseClockSim {
+ public:
+  /// Agents [0, x_count) are control agents (fixed X set); the rest start
+  /// with uniformly split species at level +, believer reset, digit 0.
+  PhaseClockSim(std::size_t n, std::size_t x_count, std::uint64_t seed,
+                const ClockLevelParams& params = {});
+
+  void step();  // one sequential interaction
+  void run_rounds(double rounds);
+  double rounds() const {
+    return static_cast<double>(interactions_) / static_cast<double>(n_);
+  }
+
+  const ClockAgent& agent(std::size_t i) const { return agents_[i]; }
+  bool is_x(std::size_t i) const { return i < x_count_; }
+  std::size_t n() const { return n_; }
+  std::uint64_t species_count(int i) const {
+    return species_counts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Maximum circular digit distance across all agents (synchronization
+  /// spread; 0 = perfectly synchronized, 1 = the tolerated adjacent split).
+  int digit_spread() const;
+
+  /// Average number of digit ticks an agent has experienced.
+  double mean_ticks() const {
+    return static_cast<double>(total_ticks_) / static_cast<double>(n_);
+  }
+
+  /// Round timestamps of one fixed agent's digit ticks (tick-interval
+  /// statistics). The observed agent is the last one (never in the X set).
+  const std::vector<double>& observed_tick_times() const { return tick_times_; }
+
+ private:
+  std::size_t n_;
+  std::size_t x_count_;
+  ClockLevelParams params_;
+  std::vector<ClockAgent> agents_;
+  std::array<std::uint64_t, 3> species_counts_{};
+  Rng rng_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t total_ticks_ = 0;
+  std::vector<double> tick_times_;
+};
+
+/// Circular distance between two digits mod m.
+int circular_distance(int a, int b, int m);
+
+/// Of two digit values known to be equal or circularly adjacent, return the
+/// later one (the consensus default of §5.3); falls back to max otherwise.
+int circular_later(int a, int b, int m);
+
+}  // namespace popproto

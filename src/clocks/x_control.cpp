@@ -1,0 +1,243 @@
+#include "clocks/x_control.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+Protocol make_x_elimination_protocol(VarSpacePtr vars) {
+  const VarId x = vars->intern(kXVar);
+  std::vector<Rule> rules;
+  rules.push_back(make_rule(BoolExpr::var(x), BoolExpr::var(x),
+                            !BoolExpr::var(x), BoolExpr::any(), "x_elim"));
+  Protocol proto("x_elimination", std::move(vars));
+  proto.add_thread("XElimination", std::move(rules));
+  return proto;
+}
+
+Protocol make_klevel_signal_protocol(VarSpacePtr vars, int k) {
+  POPPROTO_CHECK(k >= 1 && k <= 8);
+  const VarId x = vars->intern(kXVar);
+  const VarId z = vars->intern(kZVar);
+  std::vector<VarId> zr;  // Z ladder rungs Z1..Zk
+  for (int i = 1; i <= k; ++i)
+    zr.push_back(vars->intern("Z" + std::to_string(i)));
+  std::vector<VarId> xr;  // X ladder rungs X1..X(k-1)
+  for (int i = 1; i <= k - 1; ++i)
+    xr.push_back(vars->intern("X" + std::to_string(i)));
+
+  auto none_of = [](const std::vector<VarId>& vs) {
+    BoolExpr e = BoolExpr::any();
+    for (VarId v : vs) e = e && !BoolExpr::var(v);
+    return e;
+  };
+  auto clear_all = none_of;
+
+  std::vector<Rule> rules;
+  // Ladder resets on meeting a non-Z agent.
+  rules.push_back(make_rule(BoolExpr::any(), !BoolExpr::var(z), clear_all(zr),
+                            BoolExpr::any(), "z_reset"));
+  if (!xr.empty())
+    rules.push_back(make_rule(BoolExpr::any(), !BoolExpr::var(z), clear_all(xr),
+                              BoolExpr::any(), "x_reset"));
+  // Z ladder: k consecutive meetings with Z agents unset the initiator's Z.
+  rules.push_back(make_rule(BoolExpr::var(z) && none_of(zr), BoolExpr::var(z),
+                            BoolExpr::var(zr[0]), BoolExpr::any(), "z_climb1"));
+  for (int i = 1; i < k; ++i)
+    rules.push_back(make_rule(
+        BoolExpr::var(zr[static_cast<std::size_t>(i - 1)]), BoolExpr::var(z),
+        !BoolExpr::var(zr[static_cast<std::size_t>(i - 1)]) &&
+            BoolExpr::var(zr[static_cast<std::size_t>(i)]),
+        BoolExpr::any(), "z_climb" + std::to_string(i + 1)));
+  rules.push_back(make_rule(BoolExpr::var(zr.back()), BoolExpr::var(z),
+                            !BoolExpr::var(z) && !BoolExpr::var(zr.back()),
+                            BoolExpr::any(), "z_top"));
+  // X ladder: k consecutive meetings with Z agents unset the initiator's X.
+  if (k == 1) {
+    rules.push_back(make_rule(BoolExpr::var(x), BoolExpr::var(z),
+                              !BoolExpr::var(x), BoolExpr::any(), "x_top"));
+  } else {
+    rules.push_back(make_rule(BoolExpr::var(x) && none_of(xr), BoolExpr::var(z),
+                              BoolExpr::var(xr[0]), BoolExpr::any(),
+                              "x_climb1"));
+    for (int i = 1; i < k - 1; ++i)
+      rules.push_back(make_rule(
+          BoolExpr::var(xr[static_cast<std::size_t>(i - 1)]), BoolExpr::var(z),
+          !BoolExpr::var(xr[static_cast<std::size_t>(i - 1)]) &&
+              BoolExpr::var(xr[static_cast<std::size_t>(i)]),
+          BoolExpr::any(), "x_climb" + std::to_string(i + 1)));
+    rules.push_back(make_rule(BoolExpr::var(xr.back()), BoolExpr::var(z),
+                              !BoolExpr::var(x) && !BoolExpr::var(xr.back()),
+                              BoolExpr::any(), "x_top"));
+  }
+
+  Protocol proto("klevel_signal", std::move(vars));
+  proto.add_thread("KLevelSignal", std::move(rules));
+  return proto;
+}
+
+// ---------------------------------------------------------------------------
+// Typed drivers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FixedXDriver final : public XDriver {
+ public:
+  FixedXDriver(std::size_t n, std::size_t x_count) : n_(n), x_(x_count) {
+    POPPROTO_CHECK(x_count <= n);
+  }
+  void interact(std::size_t, std::size_t, Rng&) override {}
+  bool is_x(std::size_t agent) const override { return agent < x_; }
+  std::uint64_t x_count() const override { return x_; }
+  std::size_t n() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t x_;
+};
+
+class EliminationXDriver final : public XDriver {
+ public:
+  explicit EliminationXDriver(std::size_t n) : x_(n, 1), count_(n) {}
+  void interact(std::size_t a, std::size_t b, Rng&) override {
+    if (x_[a] && x_[b]) {
+      x_[a] = 0;  // ▷ (X) + (X) -> (¬X) + (X)
+      --count_;
+    }
+  }
+  bool is_x(std::size_t agent) const override { return x_[agent] != 0; }
+  std::uint64_t x_count() const override { return count_; }
+  std::size_t n() const override { return x_.size(); }
+
+ private:
+  std::vector<std::uint8_t> x_;
+  std::uint64_t count_;
+};
+
+class KLevelXDriver final : public XDriver {
+ public:
+  KLevelXDriver(std::size_t n, int k) : k_(k), st_(n), count_(n) {
+    POPPROTO_CHECK(k >= 1 && k <= 16);
+    for (auto& s : st_) {
+      s.z = true;
+      s.x = true;
+    }
+  }
+  void interact(std::size_t a, std::size_t b, Rng&) override {
+    AgentState& ia = st_[a];
+    const AgentState& ib = st_[b];
+    if (!ib.z) {
+      ia.zrung = 0;
+      ia.xrung = 0;
+      return;
+    }
+    if (ia.z) {
+      if (++ia.zrung >= k_) {
+        ia.z = false;
+        ia.zrung = 0;
+      }
+    }
+    if (ia.x) {
+      if (++ia.xrung >= k_) {
+        ia.x = false;
+        ia.xrung = 0;
+        --count_;
+      }
+    }
+  }
+  bool is_x(std::size_t agent) const override { return st_[agent].x; }
+  std::uint64_t x_count() const override { return count_; }
+  std::size_t n() const override { return st_.size(); }
+
+ private:
+  struct AgentState {
+    bool z = false;
+    bool x = false;
+    std::uint8_t zrung = 0;
+    std::uint8_t xrung = 0;
+  };
+  int k_;
+  std::vector<AgentState> st_;
+  std::uint64_t count_;
+};
+
+class JuntaXDriver final : public XDriver {
+ public:
+  static constexpr std::uint8_t kLevelCap = 30;
+
+  explicit JuntaXDriver(std::size_t n) : st_(n), active_count_(n) {}
+  void interact(std::size_t a, std::size_t b, Rng&) override {
+    AgentState& ia = st_[a];
+    AgentState& ib = st_[b];
+    // Climb: the initiator of a same-level active pair advances one level.
+    if (ia.active && ib.active && ia.level == ib.level &&
+        ia.level < kLevelCap) {
+      ++ia.level;
+    }
+    // Epidemic maximum of levels seen so far.
+    const std::uint8_t m = std::max(
+        {ia.max_seen, ib.max_seen, ia.level, ib.level});
+    ia.max_seen = m;
+    ib.max_seen = m;
+    // Knock-out: climbers strictly below the known maximum drop out.
+    for (AgentState* s : {&ia, &ib}) {
+      if (s->active && s->level < s->max_seen) {
+        s->active = false;
+        --active_count_;
+      }
+    }
+  }
+  bool is_x(std::size_t agent) const override { return st_[agent].active; }
+  std::uint64_t x_count() const override { return active_count_; }
+  std::size_t n() const override { return st_.size(); }
+
+ private:
+  struct AgentState {
+    std::uint8_t level = 0;
+    std::uint8_t max_seen = 0;
+    bool active = true;
+  };
+  std::vector<AgentState> st_;
+  std::uint64_t active_count_;
+};
+
+}  // namespace
+
+std::unique_ptr<XDriver> make_fixed_x_driver(std::size_t n,
+                                             std::size_t x_count) {
+  return std::make_unique<FixedXDriver>(n, x_count);
+}
+
+std::unique_ptr<XDriver> make_elimination_x_driver(std::size_t n) {
+  return std::make_unique<EliminationXDriver>(n);
+}
+
+std::unique_ptr<XDriver> make_klevel_x_driver(std::size_t n, int k) {
+  return std::make_unique<KLevelXDriver>(n, k);
+}
+
+std::unique_ptr<XDriver> make_junta_x_driver(std::size_t n) {
+  return std::make_unique<JuntaXDriver>(n);
+}
+
+XDriverHarness::XDriverHarness(std::unique_ptr<XDriver> driver,
+                               std::uint64_t seed)
+    : driver_(std::move(driver)), rng_(seed) {
+  POPPROTO_CHECK(driver_ != nullptr && driver_->n() >= 2);
+}
+
+void XDriverHarness::run_rounds(double rounds_to_run) {
+  const auto n = driver_->n();
+  const auto target = static_cast<std::uint64_t>(
+      (rounds() + rounds_to_run) * static_cast<double>(n));
+  while (interactions_ < target) {
+    const auto [a, b] = rng_.distinct_pair(n);
+    driver_->interact(a, b, rng_);
+    ++interactions_;
+  }
+}
+
+}  // namespace popproto

@@ -1,0 +1,96 @@
+// Control-state (#X) management (paper §5.2: Propositions 5.3, 5.4, 5.5).
+//
+// The clock hierarchy operates correctly while 1 <= #X <= n^{1-eps}. Three
+// processes drive #X into (and keep or pass through) that range:
+//
+//  * Elimination (Prop 5.3, always-correct framework): X + X -> ¬X + X.
+//    Guarantees #X >= 1 forever and reaches #X <= n^{1-eps} after O(n^eps)
+//    rounds.
+//  * k-level decaying signal (Prop 5.5, w.h.p. framework): a two-stage
+//    ladder process producing #X ~ n * exp(-t^{1/k}); reaches n^{1-eps} in
+//    polylog time but eventually extinguishes X.
+//  * Junta election (Prop 5.4, after [GS18]): level-climbing race with
+//    epidemic knock-out; O(log log n) states, #X >= 1 always, #X <= n^{1-eps}
+//    w.h.p. within O(log n) rounds.
+//
+// Each process exists in two forms: a bitmask Protocol (studied standalone
+// by experiments T5/T6 on the core engines) and a typed XDriver that plugs
+// into the clock machinery (clocks/hierarchy.hpp) as the composed thread
+// controlling the oscillator's source state. Junta election exceeds the
+// boolean-flag convention (its state space is O(log log n), not O(1)), so
+// it is provided as a typed driver only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+/// Variable names of the bitmask encodings.
+inline constexpr const char* kXVar = "X";       // the control flag itself
+inline constexpr const char* kZVar = "Z";       // k-level process: Z flag
+// Ladder rungs are interned as "Z1".."Zk" and "X1".."X(k-1)".
+
+/// Prop 5.3: ▷ (X) + (X) -> (¬X) + (X). Initial configuration: X set for
+/// all agents.
+Protocol make_x_elimination_protocol(VarSpacePtr vars);
+
+/// Prop 5.5: the two-stage ladder process with parameter k >= 1. Initial
+/// configuration: X and Z set for all agents, all rungs unset.
+Protocol make_klevel_signal_protocol(VarSpacePtr vars, int k);
+
+// ---------------------------------------------------------------------------
+// Typed drivers for the clock machinery.
+// ---------------------------------------------------------------------------
+
+/// Per-agent control-flag process composed with the clock threads. The
+/// driver owns whatever per-agent scratch state its process needs.
+class XDriver {
+ public:
+  virtual ~XDriver() = default;
+  /// One composed interaction for the ordered agent pair (a, b).
+  virtual void interact(std::size_t a, std::size_t b, Rng& rng) = 0;
+  virtual bool is_x(std::size_t agent) const = 0;
+  virtual std::uint64_t x_count() const = 0;
+  virtual std::size_t n() const = 0;
+};
+
+/// Idealized fixed junta: agents [0, x_count) are X forever. Used to study
+/// the clocks under controlled #X (the paper's Thm 5.1/5.2 setting).
+std::unique_ptr<XDriver> make_fixed_x_driver(std::size_t n,
+                                             std::size_t x_count);
+
+/// Prop 5.3 elimination driver (starts with #X = n).
+std::unique_ptr<XDriver> make_elimination_x_driver(std::size_t n);
+
+/// Prop 5.5 k-level signal driver (starts with #X = n).
+std::unique_ptr<XDriver> make_klevel_x_driver(std::size_t n, int k);
+
+/// Prop 5.4 junta-election driver (starts with #X = n; X = still-climbing
+/// agents at the current maximum level).
+std::unique_ptr<XDriver> make_junta_x_driver(std::size_t n);
+
+/// Standalone harness: runs a driver alone under the sequential scheduler
+/// (for T5-style measurements on typed drivers).
+class XDriverHarness {
+ public:
+  XDriverHarness(std::unique_ptr<XDriver> driver, std::uint64_t seed);
+
+  void run_rounds(double rounds);
+  double rounds() const {
+    return static_cast<double>(interactions_) /
+           static_cast<double>(driver_->n());
+  }
+  const XDriver& driver() const { return *driver_; }
+
+ private:
+  std::unique_ptr<XDriver> driver_;
+  Rng rng_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace popproto

@@ -1,0 +1,261 @@
+#include "core/count_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace popproto {
+
+namespace {
+constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kAutoWindow = 512;
+constexpr double kSwitchToSkipBelow = 0.08;
+constexpr double kSwitchToDirectAbove = 0.25;
+}  // namespace
+
+CountEngine::CountEngine(const Protocol& protocol,
+                         std::vector<std::pair<State, std::uint64_t>> initial,
+                         std::uint64_t seed, CountEngineMode mode)
+    : protocol_(protocol),
+      rules_(protocol.weighted_rules()),
+      rng_(seed),
+      mode_(mode) {
+  POPPROTO_CHECK(!rules_.empty());
+  for (const auto& [s, c] : initial) add_count(s, c);
+  POPPROTO_CHECK_MSG(n_ >= 2, "population needs at least 2 agents");
+  use_skip_ = (mode == CountEngineMode::kSkip);
+}
+
+void CountEngine::add_count(State s, std::uint64_t delta) {
+  if (delta == 0) return;
+  auto it = index_.find(s);
+  if (it == index_.end()) {
+    index_.emplace(s, states_.size());
+    states_.push_back(s);
+    counts_.push_back(delta);
+  } else {
+    counts_[it->second] += delta;
+  }
+  n_ += delta;
+}
+
+void CountEngine::remove_count(std::size_t index, std::uint64_t delta) {
+  POPPROTO_DCHECK(counts_[index] >= delta);
+  counts_[index] -= delta;
+  n_ -= delta;
+}
+
+void CountEngine::compact() {
+  std::vector<State> ns;
+  std::vector<std::uint64_t> nc;
+  index_.clear();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    index_.emplace(states_[i], ns.size());
+    ns.push_back(states_[i]);
+    nc.push_back(counts_[i]);
+  }
+  states_ = std::move(ns);
+  counts_ = std::move(nc);
+}
+
+std::size_t CountEngine::sample_species(std::uint64_t exclude_one_of) {
+  std::uint64_t total = n_;
+  if (exclude_one_of != ~0ull) --total;
+  std::uint64_t r = rng_.below(total);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::uint64_t c = counts_[i];
+    if (i == exclude_one_of) --c;
+    if (r < c) return i;
+    r -= c;
+  }
+  POPPROTO_CHECK_MSG(false, "species sampling fell through");
+  return 0;
+}
+
+void CountEngine::apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
+                             bool conditioned_on_change) {
+  const State sa = states_[ia];
+  const State sb = states_[ib];
+  const auto [na, nb] = conditioned_on_change
+                            ? rule.apply_conditioned_on_change(sa, sb, rng_)
+                            : rule.apply(sa, sb, rng_);
+  if (na == sa && nb == sb) return;
+  remove_count(ia, 1);
+  remove_count(ib, 1);
+  add_count(na, 1);
+  add_count(nb, 1);
+  ++effective_;
+}
+
+void CountEngine::direct_step() {
+  const std::size_t ia = sample_species();
+  const std::size_t ib = sample_species(/*exclude_one_of=*/ia);
+  ++interactions_;
+  ++window_steps_;
+
+  // Rule choice: weighted by thread/ruleset structure; residual mass (empty
+  // thread slots) is a no-op.
+  double u = rng_.uniform();
+  const Rule* rule = nullptr;
+  for (const auto& wr : rules_) {
+    if (u < wr.weight) {
+      rule = wr.rule;
+      break;
+    }
+    u -= wr.weight;
+  }
+  if (rule == nullptr) return;
+  if (!rule->matches(states_[ia], states_[ib])) return;
+
+  const std::uint64_t before = effective_;
+  apply_pair(*rule, ia, ib, /*conditioned_on_change=*/false);
+  if (effective_ != before) ++window_effective_;
+}
+
+void CountEngine::rebuild_events() {
+  compact();
+  events_.clear();
+  events_total_weight_ = 0.0;
+  const double pair_norm =
+      1.0 / (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+  for (const auto& wr : rules_) {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (!wr.rule->initiator_guard().matches(states_[i])) continue;
+      for (std::size_t j = 0; j < states_.size(); ++j) {
+        if (!wr.rule->responder_guard().matches(states_[j])) continue;
+        const double pchange =
+            wr.rule->change_probability(states_[i], states_[j]);
+        if (pchange <= 0.0) continue;
+        const double pairs =
+            static_cast<double>(counts_[i]) *
+            (static_cast<double>(counts_[j]) - (i == j ? 1.0 : 0.0));
+        if (pairs <= 0.0) continue;
+        const double w = wr.weight * pairs * pair_norm * pchange;
+        events_.push_back(Event{w, wr.rule, i, j});
+        events_total_weight_ += w;
+      }
+    }
+  }
+}
+
+bool CountEngine::skip_step() {
+  rebuild_events();
+  if (events_total_weight_ <= 0.0) {
+    silent_ = true;
+    return false;
+  }
+  const std::uint64_t skip = rng_.geometric(std::min(events_total_weight_, 1.0));
+  interactions_ += skip + 1;
+
+  double u = rng_.uniform() * events_total_weight_;
+  const Event* chosen = &events_.back();
+  for (const auto& e : events_) {
+    if (u < e.weight) {
+      chosen = &e;
+      break;
+    }
+    u -= e.weight;
+  }
+  apply_pair(*chosen->rule, chosen->species_a, chosen->species_b,
+             /*conditioned_on_change=*/true);
+  return true;
+}
+
+bool CountEngine::step() {
+  if (silent_) return false;
+  if (mode_ == CountEngineMode::kAuto) {
+    if (!use_skip_ && window_steps_ >= kAutoWindow) {
+      const double frac = static_cast<double>(window_effective_) /
+                          static_cast<double>(window_steps_);
+      if (frac < kSwitchToSkipBelow) use_skip_ = true;
+      window_steps_ = window_effective_ = 0;
+    } else if (use_skip_ && events_total_weight_ > kSwitchToDirectAbove) {
+      use_skip_ = false;
+      window_steps_ = window_effective_ = 0;
+    }
+  }
+  if (use_skip_ || mode_ == CountEngineMode::kSkip) return skip_step();
+  direct_step();
+  return true;
+}
+
+void CountEngine::run_rounds(double rounds_to_run) {
+  const double target =
+      (static_cast<double>(interactions_) + rounds_to_run * static_cast<double>(n_));
+  const auto target_i = static_cast<std::uint64_t>(std::ceil(target));
+  while (interactions_ < target_i) {
+    if (silent_) {
+      interactions_ = target_i;  // nothing can change; fast-forward
+      return;
+    }
+    if (use_skip_ || mode_ == CountEngineMode::kSkip) {
+      // Peek at whether the next effective interaction lands past the
+      // horizon; by memorylessness of the geometric law we may fast-forward
+      // and resample later.
+      rebuild_events();
+      if (events_total_weight_ <= 0.0) {
+        silent_ = true;
+        interactions_ = target_i;
+        return;
+      }
+      const std::uint64_t skip =
+          rng_.geometric(std::min(events_total_weight_, 1.0));
+      if (interactions_ + skip + 1 > target_i) {
+        interactions_ = target_i;
+        return;
+      }
+      interactions_ += skip + 1;
+      double u = rng_.uniform() * events_total_weight_;
+      const Event* chosen = &events_.back();
+      for (const auto& e : events_) {
+        if (u < e.weight) {
+          chosen = &e;
+          break;
+        }
+        u -= e.weight;
+      }
+      apply_pair(*chosen->rule, chosen->species_a, chosen->species_b, true);
+      // Re-evaluate auto switching.
+      if (mode_ == CountEngineMode::kAuto &&
+          events_total_weight_ > kSwitchToDirectAbove)
+        use_skip_ = false;
+    } else {
+      step();
+    }
+  }
+}
+
+std::optional<double> CountEngine::run_until(
+    const std::function<bool(const CountEngine&)>& predicate, double max_rounds,
+    double check_interval) {
+  POPPROTO_CHECK(check_interval > 0.0);
+  if (predicate(*this)) return rounds();
+  while (rounds() < max_rounds) {
+    run_rounds(check_interval);
+    if (predicate(*this)) return rounds();
+    if (silent_) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t CountEngine::count_state(State s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? 0 : counts_[it->second];
+}
+
+std::uint64_t CountEngine::count_matching(const Guard& g) const {
+  std::uint64_t c = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (counts_[i] > 0 && g.matches(states_[i])) c += counts_[i];
+  return c;
+}
+
+std::vector<std::pair<State, std::uint64_t>> CountEngine::species() const {
+  std::vector<std::pair<State, std::uint64_t>> out;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (counts_[i] > 0) out.emplace_back(states_[i], counts_[i]);
+  return out;
+}
+
+}  // namespace popproto

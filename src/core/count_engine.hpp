@@ -1,0 +1,105 @@
+// Species-abundance simulation engine (DESIGN.md S5).
+//
+// For a protocol whose reachable state set is small, the population is fully
+// described by the count of agents in each state. This engine simulates the
+// sequential scheduler exactly on those counts and, when the probability
+// that a uniformly sampled interaction changes any state drops low, switches
+// to *skip-ahead* mode: it samples the number of no-op interactions from the
+// exact geometric law and then draws one state-changing interaction from the
+// conditional distribution. The resulting process is equal in distribution
+// to the direct simulation, but late-stage sparse dynamics (|X|+|X|
+// elimination, DV12 exact majority, ...) run in time proportional to the
+// number of *effective* interactions instead of all interactions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+enum class CountEngineMode { kDirect, kSkip, kAuto };
+
+class CountEngine {
+ public:
+  /// Initial configuration: (state, count) pairs; counts must sum to n >= 2.
+  CountEngine(const Protocol& protocol,
+              std::vector<std::pair<State, std::uint64_t>> initial,
+              std::uint64_t seed,
+              CountEngineMode mode = CountEngineMode::kAuto);
+
+  /// Advance by one scheduler interaction (direct) or one *effective*
+  /// interaction plus its geometric prefix of no-ops (skip mode). Returns
+  /// false iff the configuration is silent (no rule can change anything) —
+  /// time is then advanced past `silence_horizon_rounds` instead.
+  bool step();
+
+  void run_rounds(double rounds);
+
+  /// Run until predicate(engine) holds (checked after every effective
+  /// change, at most every `check_interval` rounds); nullopt on timeout.
+  std::optional<double> run_until(
+      const std::function<bool(const CountEngine&)>& predicate,
+      double max_rounds, double check_interval = 1.0);
+
+  std::uint64_t count_state(State s) const;
+  std::uint64_t count_matching(const Guard& g) const;
+  std::uint64_t count_matching(const BoolExpr& e) const {
+    return count_matching(Guard(e));
+  }
+  bool exists(const BoolExpr& e) const { return count_matching(e) > 0; }
+
+  /// All species with nonzero count.
+  std::vector<std::pair<State, std::uint64_t>> species() const;
+
+  double rounds() const {
+    return static_cast<double>(interactions_) / static_cast<double>(n_);
+  }
+  std::uint64_t interactions() const { return interactions_; }
+  std::uint64_t effective_interactions() const { return effective_; }
+  std::uint64_t n() const { return n_; }
+  bool silent() const { return silent_; }
+
+ private:
+  struct Event {
+    double weight;
+    const Rule* rule;
+    std::size_t species_a;
+    std::size_t species_b;
+  };
+
+  void compact();
+  void direct_step();
+  bool skip_step();
+  void rebuild_events();
+  void apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
+                  bool conditioned_on_change);
+  void add_count(State s, std::uint64_t delta);
+  void remove_count(std::size_t index, std::uint64_t delta);
+  std::size_t sample_species(std::uint64_t exclude_one_of = ~0ull);
+
+  const Protocol& protocol_;
+  std::vector<Protocol::WeightedRule> rules_;
+  std::vector<State> states_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<State, std::size_t> index_;
+  std::uint64_t n_ = 0;
+  Rng rng_;
+  CountEngineMode mode_;
+  bool use_skip_ = false;
+  bool silent_ = false;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t effective_ = 0;
+  // Auto-mode statistics over a sliding window of direct steps.
+  std::uint64_t window_steps_ = 0;
+  std::uint64_t window_effective_ = 0;
+  std::vector<Event> events_;
+  double events_total_weight_ = 0.0;
+};
+
+}  // namespace popproto

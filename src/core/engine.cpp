@@ -1,0 +1,91 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+
+namespace popproto {
+
+Engine::Engine(const Protocol& protocol, std::vector<State> initial_states,
+               std::uint64_t seed, SchedulerKind scheduler)
+    : protocol_(protocol),
+      pop_(std::move(initial_states)),
+      rng_(seed),
+      scheduler_(scheduler) {
+  POPPROTO_CHECK(protocol_.num_rules() > 0);
+}
+
+double Engine::rounds() const {
+  if (scheduler_ == SchedulerKind::kSequential)
+    return static_cast<double>(interactions_) / static_cast<double>(pop_.size());
+  return static_cast<double>(matching_rounds_);
+}
+
+void Engine::sequential_step() {
+  const auto [a, b] = rng_.distinct_pair(pop_.size());
+  const Rule* rule = protocol_.sample_rule(rng_);
+  ++interactions_;
+  if (rule == nullptr) return;
+  const State sa = pop_.state(a);
+  const State sb = pop_.state(b);
+  if (!rule->matches(sa, sb)) return;
+  const auto [na, nb] = rule->apply(sa, sb, rng_);
+  if (na != sa) pop_.set_state(a, na);
+  if (nb != sb) pop_.set_state(b, nb);
+}
+
+void Engine::matching_step() {
+  sample_random_matching(pop_.size(), rng_, matching_buf_);
+  for (const auto& [a, b] : matching_buf_) {
+    const Rule* rule = protocol_.sample_rule(rng_);
+    if (rule == nullptr) continue;
+    const State sa = pop_.state(a);
+    const State sb = pop_.state(b);
+    if (!rule->matches(sa, sb)) continue;
+    const auto [na, nb] = rule->apply(sa, sb, rng_);
+    if (na != sa) pop_.set_state(a, na);
+    if (nb != sb) pop_.set_state(b, nb);
+  }
+  interactions_ += matching_buf_.size();
+  ++matching_rounds_;
+}
+
+void Engine::fire_round_hook_if_due() {
+  if (!round_hook_) return;
+  const double r = rounds();
+  if (r >= last_hook_round_ + 1.0) {
+    last_hook_round_ = std::floor(r);
+    round_hook_(r, pop_);
+  }
+}
+
+void Engine::step() {
+  if (scheduler_ == SchedulerKind::kSequential) {
+    sequential_step();
+  } else {
+    matching_step();
+  }
+  fire_round_hook_if_due();
+}
+
+void Engine::run_rounds(double rounds_to_run) {
+  const double target = rounds() + rounds_to_run;
+  if (scheduler_ == SchedulerKind::kSequential) {
+    const auto n = static_cast<double>(pop_.size());
+    while (static_cast<double>(interactions_) / n < target) step();
+  } else {
+    while (static_cast<double>(matching_rounds_) < target) step();
+  }
+}
+
+std::optional<double> Engine::run_until(
+    const std::function<bool(const AgentPopulation&)>& predicate,
+    double max_rounds, double check_interval) {
+  POPPROTO_CHECK(check_interval > 0.0);
+  if (predicate(pop_)) return rounds();
+  while (rounds() < max_rounds) {
+    run_rounds(check_interval);
+    if (predicate(pop_)) return rounds();
+  }
+  return std::nullopt;
+}
+
+}  // namespace popproto

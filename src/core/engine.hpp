@@ -1,0 +1,65 @@
+// Agent-based simulation engine for protocols over boolean state variables.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/population.hpp"
+#include "core/protocol.hpp"
+#include "core/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+/// Drives a Protocol on an AgentPopulation under a chosen scheduler.
+///
+/// Parallel time accounting: one sequential interaction advances time by
+/// 1/n rounds; one random-matching activation advances time by one round.
+class Engine {
+ public:
+  Engine(const Protocol& protocol, std::vector<State> initial_states,
+         std::uint64_t seed,
+         SchedulerKind scheduler = SchedulerKind::kSequential);
+
+  /// One scheduler activation: a single interaction (sequential) or a full
+  /// random matching (matching scheduler).
+  void step();
+
+  /// Run for (at least) `rounds` additional units of parallel time.
+  void run_rounds(double rounds);
+
+  /// Run until `predicate(population)` holds, checking every
+  /// `check_interval` rounds; gives up after `max_rounds`. Returns the
+  /// parallel time at which the predicate first held, or nullopt.
+  std::optional<double> run_until(
+      const std::function<bool(const AgentPopulation&)>& predicate,
+      double max_rounds, double check_interval = 1.0);
+
+  /// Callback invoked after every whole round of parallel time.
+  using RoundHook = std::function<void(double round, const AgentPopulation&)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
+  double rounds() const;
+  std::uint64_t interactions() const { return interactions_; }
+  const AgentPopulation& population() const { return pop_; }
+  AgentPopulation& population() { return pop_; }
+  Rng& rng() { return rng_; }
+  std::size_t n() const { return pop_.size(); }
+
+ private:
+  void sequential_step();
+  void matching_step();
+  void fire_round_hook_if_due();
+
+  const Protocol& protocol_;
+  AgentPopulation pop_;
+  Rng rng_;
+  SchedulerKind scheduler_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t matching_rounds_ = 0;
+  double last_hook_round_ = 0.0;
+  RoundHook round_hook_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> matching_buf_;
+};
+
+}  // namespace popproto

@@ -1,0 +1,223 @@
+#include "core/expr.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace popproto {
+
+struct BoolExpr::Node {
+  enum class Kind { kConst, kVar, kNot, kAnd, kOr } kind;
+  bool value = false;  // kConst
+  VarId var = 0;       // kVar
+  NodePtr a, b;        // kNot uses a; kAnd/kOr use a and b
+};
+
+namespace {
+
+using Node = BoolExpr::LiteralConjunction;  // (unused alias guard)
+
+}  // namespace
+
+BoolExpr BoolExpr::any() { return constant(true); }
+
+BoolExpr BoolExpr::constant(bool value) {
+  auto n = std::make_shared<BoolExpr::Node>();
+  n->kind = Node::Kind::kConst;
+  n->value = value;
+  return BoolExpr(std::move(n));
+}
+
+BoolExpr BoolExpr::var(VarId v) {
+  auto n = std::make_shared<BoolExpr::Node>();
+  n->kind = Node::Kind::kVar;
+  n->var = v;
+  return BoolExpr(std::move(n));
+}
+
+BoolExpr BoolExpr::operator!() const {
+  auto n = std::make_shared<BoolExpr::Node>();
+  n->kind = Node::Kind::kNot;
+  n->a = node_;
+  return BoolExpr(std::move(n));
+}
+
+BoolExpr BoolExpr::operator&&(const BoolExpr& rhs) const {
+  auto n = std::make_shared<BoolExpr::Node>();
+  n->kind = Node::Kind::kAnd;
+  n->a = node_;
+  n->b = rhs.node_;
+  return BoolExpr(std::move(n));
+}
+
+BoolExpr BoolExpr::operator||(const BoolExpr& rhs) const {
+  auto n = std::make_shared<BoolExpr::Node>();
+  n->kind = Node::Kind::kOr;
+  n->a = node_;
+  n->b = rhs.node_;
+  return BoolExpr(std::move(n));
+}
+
+bool BoolExpr::eval(State s) const {
+  using K = Node::Kind;
+  switch (node_->kind) {
+    case K::kConst:
+      return node_->value;
+    case K::kVar:
+      return var_is_set(s, node_->var);
+    case K::kNot:
+      return !BoolExpr(node_->a).eval(s);
+    case K::kAnd:
+      return BoolExpr(node_->a).eval(s) && BoolExpr(node_->b).eval(s);
+    case K::kOr:
+      return BoolExpr(node_->a).eval(s) || BoolExpr(node_->b).eval(s);
+  }
+  return false;
+}
+
+State BoolExpr::support() const {
+  using K = Node::Kind;
+  switch (node_->kind) {
+    case K::kConst:
+      return 0;
+    case K::kVar:
+      return var_bit(node_->var);
+    case K::kNot:
+      return BoolExpr(node_->a).support();
+    case K::kAnd:
+    case K::kOr:
+      return BoolExpr(node_->a).support() | BoolExpr(node_->b).support();
+  }
+  return 0;
+}
+
+std::optional<BoolExpr::LiteralConjunction> BoolExpr::as_literal_conjunction()
+    const {
+  using K = Node::Kind;
+  switch (node_->kind) {
+    case K::kConst:
+      if (node_->value) return LiteralConjunction{};
+      return std::nullopt;
+    case K::kVar:
+      return LiteralConjunction{var_bit(node_->var), 0};
+    case K::kNot: {
+      const BoolExpr inner(node_->a);
+      if (inner.node_->kind == K::kVar)
+        return LiteralConjunction{0, var_bit(inner.node_->var)};
+      return std::nullopt;
+    }
+    case K::kAnd: {
+      auto lhs = BoolExpr(node_->a).as_literal_conjunction();
+      auto rhs = BoolExpr(node_->b).as_literal_conjunction();
+      if (!lhs || !rhs) return std::nullopt;
+      LiteralConjunction out{lhs->set_mask | rhs->set_mask,
+                             lhs->clear_mask | rhs->clear_mask};
+      if (out.set_mask & out.clear_mask) return std::nullopt;  // contradiction
+      return out;
+    }
+    case K::kOr:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string BoolExpr::to_string(const VarSpace& vars) const {
+  using K = Node::Kind;
+  switch (node_->kind) {
+    case K::kConst:
+      return node_->value ? "." : "false";
+    case K::kVar:
+      return vars.name(node_->var);
+    case K::kNot:
+      return "!" + BoolExpr(node_->a).to_string(vars);
+    case K::kAnd:
+      return "(" + BoolExpr(node_->a).to_string(vars) + " & " +
+             BoolExpr(node_->b).to_string(vars) + ")";
+    case K::kOr:
+      return "(" + BoolExpr(node_->a).to_string(vars) + " | " +
+             BoolExpr(node_->b).to_string(vars) + ")";
+  }
+  return "?";
+}
+
+bool BoolExpr::is_const_true() const {
+  return node_->kind == Node::Kind::kConst && node_->value;
+}
+
+bool BoolExpr::is_const_false() const {
+  return node_->kind == Node::Kind::kConst && !node_->value;
+}
+
+// ---------------------------------------------------------------------------
+// Guard compilation: enumerate assignments of the (small) support set and
+// greedily merge adjacent minterms. Guards in compiled protocols mention at
+// most a dozen variables, so the 2^|support| sweep is fine at build time and
+// buys branch-free matching in the simulation hot loop.
+// ---------------------------------------------------------------------------
+
+Guard::Guard() : always_(true) {}
+
+Guard::Guard(const BoolExpr& expr) {
+  support_ = expr.support();
+  const int k = std::popcount(support_);
+  POPPROTO_CHECK_MSG(k <= 20, "guard support too large to compile");
+
+  // Positions of the support bits.
+  std::vector<VarId> vars;
+  for (std::size_t v = 0; v < kMaxVars; ++v)
+    if (support_ & var_bit(static_cast<VarId>(v)))
+      vars.push_back(static_cast<VarId>(v));
+
+  std::vector<Minterm> terms;
+  const std::uint64_t combos = 1ull << k;
+  for (std::uint64_t c = 0; c < combos; ++c) {
+    State s = 0;
+    for (int i = 0; i < k; ++i)
+      if ((c >> i) & 1) s |= var_bit(vars[i]);
+    if (expr.eval(s)) terms.push_back(Minterm{support_, s});
+  }
+
+  if (terms.size() == combos && k >= 0) {
+    // Tautology over its support (includes constant-true / empty support).
+    always_ = true;
+    return;
+  }
+
+  // Greedy merging: combine pairs of minterms that differ in exactly one
+  // cared bit, dropping that bit from the mask. Iterate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < terms.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < terms.size(); ++j) {
+        if (terms[i].mask != terms[j].mask) continue;
+        const State diff = terms[i].bits ^ terms[j].bits;
+        if (std::popcount(diff) == 1) {
+          terms[i].mask &= ~diff;
+          terms[i].bits &= ~diff;
+          terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Absorption: drop terms implied by a weaker term.
+  std::vector<Minterm> kept;
+  for (const auto& t : terms) {
+    bool absorbed = false;
+    for (const auto& u : terms) {
+      if (&u == &t) continue;
+      const bool u_weaker = (u.mask & ~t.mask) == 0;
+      if (u_weaker && (t.bits & u.mask) == u.bits &&
+          (u.mask != t.mask || u.bits != t.bits || &u < &t)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.push_back(t);
+  }
+  terms_ = std::move(kept);
+}
+
+}  // namespace popproto

@@ -1,0 +1,90 @@
+// Boolean formulas over state variables (the Σ's of rule bit-masks, §1.3).
+//
+// Formulas appear in three roles:
+//  * interaction guards Σ1, Σ2 — arbitrary boolean formulas;
+//  * rule right-hand sides Σ3, Σ4 — must be conjunctions of literals so that
+//    the "minimal update" semantics of the paper is well defined;
+//  * `if exists (Σ)` conditions and assignment sources in the language.
+//
+// Guards are compiled once into a small DNF (mask, bits) minterm list, so
+// matching an interaction is a handful of AND/CMP ops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/state.hpp"
+
+namespace popproto {
+
+/// Immutable boolean expression tree; cheap to copy (shared nodes).
+class BoolExpr {
+ public:
+  /// The empty formula "(.)" matching any agent.
+  static BoolExpr any();
+  static BoolExpr constant(bool value);
+  static BoolExpr var(VarId v);
+
+  BoolExpr operator!() const;
+  BoolExpr operator&&(const BoolExpr& rhs) const;
+  BoolExpr operator||(const BoolExpr& rhs) const;
+
+  bool eval(State s) const;
+
+  /// Bitmask of variables the formula mentions.
+  State support() const;
+
+  /// If the formula is a conjunction of literals (or a constant), return the
+  /// (set_mask, clear_mask) pair it pins; nullopt otherwise or when
+  /// contradictory.
+  struct LiteralConjunction {
+    State set_mask = 0;
+    State clear_mask = 0;
+  };
+  std::optional<LiteralConjunction> as_literal_conjunction() const;
+
+  std::string to_string(const VarSpace& vars) const;
+
+  bool is_const_true() const;
+  bool is_const_false() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+  explicit BoolExpr(NodePtr n) : node_(std::move(n)) {}
+  NodePtr node_;
+  friend class Guard;
+};
+
+/// Compiled guard: DNF minterm list over the formula's support.
+class Guard {
+ public:
+  Guard();  // matches everything
+  explicit Guard(const BoolExpr& expr);
+
+  bool matches(State s) const {
+    if (always_) return true;
+    for (const auto& t : terms_)
+      if ((s & t.mask) == t.bits) return true;
+    return false;
+  }
+
+  bool always_true() const { return always_; }
+  bool never_true() const { return !always_ && terms_.empty(); }
+  State support() const { return support_; }
+  std::size_t num_terms() const { return terms_.size(); }
+
+ private:
+  struct Minterm {
+    State mask = 0;
+    State bits = 0;
+  };
+  std::vector<Minterm> terms_;
+  State support_ = 0;
+  bool always_ = false;
+};
+
+}  // namespace popproto

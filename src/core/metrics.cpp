@@ -1,0 +1,56 @@
+#include "core/metrics.hpp"
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+VarTrace::VarTrace(std::vector<VarId> vars, double interval_rounds)
+    : vars_(std::move(vars)), interval_(interval_rounds) {
+  POPPROTO_CHECK(interval_ > 0.0);
+}
+
+void VarTrace::record(double round, const AgentPopulation& pop) {
+  if (round < next_due_) return;
+  next_due_ = round + interval_;
+  TracePoint p;
+  p.round = round;
+  p.counts.reserve(vars_.size());
+  for (VarId v : vars_) p.counts.push_back(pop.count_var(v));
+  points_.push_back(std::move(p));
+}
+
+void VarTrace::record_counts(double round, std::vector<std::uint64_t> counts) {
+  if (round < next_due_) return;
+  next_due_ = round + interval_;
+  POPPROTO_CHECK(counts.size() == vars_.size());
+  points_.push_back(TracePoint{round, std::move(counts)});
+}
+
+std::pair<std::uint64_t, std::uint64_t> VarTrace::range(
+    std::size_t var_index) const {
+  POPPROTO_CHECK(var_index < vars_.size());
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& p : points_) {
+    lo = std::min(lo, p.counts[var_index]);
+    hi = std::max(hi, p.counts[var_index]);
+  }
+  if (points_.empty()) lo = 0;
+  return {lo, hi};
+}
+
+std::size_t count_upward_crossings(const std::vector<TracePoint>& points,
+                                   std::size_t var_index, double threshold) {
+  std::size_t crossings = 0;
+  bool above = false;
+  bool first = true;
+  for (const auto& p : points) {
+    const bool now_above =
+        static_cast<double>(p.counts[var_index]) > threshold;
+    if (!first && now_above && !above) ++crossings;
+    above = now_above;
+    first = false;
+  }
+  return crossings;
+}
+
+}  // namespace popproto

@@ -1,0 +1,46 @@
+// Time-series recording for experiments: per-variable counts sampled on a
+// fixed parallel-time grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/population.hpp"
+
+namespace popproto {
+
+struct TracePoint {
+  double round = 0.0;
+  std::vector<std::uint64_t> counts;
+};
+
+/// Records counts of a fixed set of variables at (approximately) regular
+/// parallel-time intervals. Attach via Engine::set_round_hook or call
+/// record() manually from any simulation loop.
+class VarTrace {
+ public:
+  VarTrace(std::vector<VarId> vars, double interval_rounds = 1.0);
+
+  void record(double round, const AgentPopulation& pop);
+  /// Record from raw counts (for count-engine / clock-machine callers).
+  void record_counts(double round, std::vector<std::uint64_t> counts);
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  const std::vector<VarId>& vars() const { return vars_; }
+
+  /// Min/max of one tracked variable across the recorded window.
+  std::pair<std::uint64_t, std::uint64_t> range(std::size_t var_index) const;
+
+ private:
+  std::vector<VarId> vars_;
+  double interval_;
+  double next_due_ = 0.0;
+  std::vector<TracePoint> points_;
+};
+
+/// Count zero-crossings of (count - threshold) in a trace column: used to
+/// count oscillation periods.
+std::size_t count_upward_crossings(const std::vector<TracePoint>& points,
+                                   std::size_t var_index, double threshold);
+
+}  // namespace popproto

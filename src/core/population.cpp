@@ -1,0 +1,67 @@
+#include "core/population.hpp"
+
+#include <bit>
+
+namespace popproto {
+
+AgentPopulation::AgentPopulation(std::vector<State> initial)
+    : states_(std::move(initial)) {
+  POPPROTO_CHECK_MSG(states_.size() >= 2, "population needs at least 2 agents");
+  rebuild_counts();
+}
+
+AgentPopulation::AgentPopulation(std::size_t n, State uniform_state)
+    : AgentPopulation(std::vector<State>(n, uniform_state)) {}
+
+void AgentPopulation::rebuild_counts() {
+  var_count_.fill(0);
+  for (State s : states_) {
+    while (s) {
+      const int v = std::countr_zero(s);
+      ++var_count_[static_cast<std::size_t>(v)];
+      s &= s - 1;
+    }
+  }
+}
+
+void AgentPopulation::set_state(std::size_t i, State s) {
+  POPPROTO_DCHECK(i < states_.size());
+  State diff = states_[i] ^ s;
+  const State added = diff & s;
+  const State removed = diff & states_[i];
+  State a = added;
+  while (a) {
+    ++var_count_[static_cast<std::size_t>(std::countr_zero(a))];
+    a &= a - 1;
+  }
+  State r = removed;
+  while (r) {
+    --var_count_[static_cast<std::size_t>(std::countr_zero(r))];
+    r &= r - 1;
+  }
+  states_[i] = s;
+}
+
+std::uint64_t AgentPopulation::count_matching(const Guard& g) const {
+  if (g.always_true()) return states_.size();
+  std::uint64_t c = 0;
+  for (State s : states_)
+    if (g.matches(s)) ++c;
+  return c;
+}
+
+bool AgentPopulation::exists(const Guard& g) const {
+  if (g.always_true()) return !states_.empty();
+  for (State s : states_)
+    if (g.matches(s)) return true;
+  return false;
+}
+
+bool AgentPopulation::all(const Guard& g) const {
+  if (g.always_true()) return true;
+  for (State s : states_)
+    if (!g.matches(s)) return false;
+  return true;
+}
+
+}  // namespace popproto

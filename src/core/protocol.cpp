@@ -1,0 +1,56 @@
+#include "core/protocol.hpp"
+
+namespace popproto {
+
+std::size_t Protocol::add_thread(std::string name, std::vector<Rule> rules) {
+  threads_.push_back(ProtoThread{std::move(name), std::move(rules)});
+  return threads_.size() - 1;
+}
+
+void Protocol::extend_thread(std::size_t index, std::vector<Rule> rules) {
+  POPPROTO_CHECK(index < threads_.size());
+  auto& dst = threads_[index].rules;
+  dst.insert(dst.end(), std::make_move_iterator(rules.begin()),
+             std::make_move_iterator(rules.end()));
+}
+
+void Protocol::compose(const Protocol& other) {
+  POPPROTO_CHECK_MSG(vars_.get() == other.vars_.get(),
+                     "composed protocols must share one VarSpace");
+  for (const auto& t : other.threads_)
+    threads_.push_back(ProtoThread{other.name_ + "." + t.name, t.rules});
+}
+
+const Rule* Protocol::sample_rule(Rng& rng) const {
+  if (threads_.empty()) return nullptr;
+  const auto& thread = threads_[rng.below(threads_.size())];
+  if (thread.rules.empty()) return nullptr;  // idle thread slot
+  return &thread.rules[rng.below(thread.rules.size())];
+}
+
+std::vector<Protocol::WeightedRule> Protocol::weighted_rules() const {
+  std::vector<WeightedRule> out;
+  if (threads_.empty()) return out;
+  const double thread_p = 1.0 / static_cast<double>(threads_.size());
+  for (const auto& t : threads_) {
+    if (t.rules.empty()) continue;
+    const double w = thread_p / static_cast<double>(t.rules.size());
+    for (const auto& r : t.rules) out.push_back(WeightedRule{&r, w});
+  }
+  return out;
+}
+
+std::size_t Protocol::num_rules() const {
+  std::size_t n = 0;
+  for (const auto& t : threads_) n += t.rules.size();
+  return n;
+}
+
+State Protocol::write_set() const {
+  State w = 0;
+  for (const auto& t : threads_)
+    for (const auto& r : t.rules) w |= r.write_set();
+  return w;
+}
+
+}  // namespace popproto

@@ -1,0 +1,26 @@
+#include "core/scheduler.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+void sample_random_matching(
+    std::size_t n, Rng& rng,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) {
+  POPPROTO_CHECK(n >= 2);
+  thread_local std::vector<std::uint32_t> perm;
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Fisher-Yates shuffle.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  out.clear();
+  out.reserve(n / 2);
+  for (std::size_t i = 0; i + 1 < n; i += 2) out.emplace_back(perm[i], perm[i + 1]);
+}
+
+}  // namespace popproto

@@ -1,0 +1,28 @@
+// Schedulers (paper §1, §5.2).
+//
+// * Sequential: each step activates one ordered pair chosen u.a.r. — the
+//   standard probabilistic population-protocol scheduler. Parallel time =
+//   interactions / n.
+// * RandomMatching: each round activates a uniformly random maximal matching
+//   of the population; every matched (ordered) pair runs one interaction.
+//   Theorem 5.1's analysis covers both, and the clock hierarchy (§5.3) uses
+//   clocks to *emulate* a slowed random-matching scheduler.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace popproto {
+
+enum class SchedulerKind { kSequential, kRandomMatching };
+
+/// Sample a uniformly random maximal matching on {0..n-1}: a random
+/// permutation paired off two-by-two (one agent is left unmatched when n is
+/// odd). Orientation within a pair is random. Appends pairs to `out`.
+void sample_random_matching(std::size_t n, Rng& rng,
+                            std::vector<std::pair<std::uint32_t, std::uint32_t>>& out);
+
+}  // namespace popproto

@@ -1,0 +1,97 @@
+#include "lang/ast.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+Stmt execute_ruleset(std::vector<Rule> rules) {
+  Stmt s;
+  s.kind = StmtKind::kExecuteRuleset;
+  s.rules = std::move(rules);
+  return s;
+}
+
+Stmt assign(VarId target, BoolExpr source) {
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.target = target;
+  s.source = std::move(source);
+  return s;
+}
+
+Stmt assign_coin(VarId target) {
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.target = target;
+  s.coin = true;
+  return s;
+}
+
+Stmt if_exists(BoolExpr condition, std::vector<Stmt> then_branch,
+               std::vector<Stmt> else_branch) {
+  Stmt s;
+  s.kind = StmtKind::kIfExists;
+  s.condition = std::move(condition);
+  s.then_branch = std::move(then_branch);
+  s.else_branch = std::move(else_branch);
+  return s;
+}
+
+Stmt repeat_log(std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = StmtKind::kRepeatLog;
+  s.body = std::move(body);
+  return s;
+}
+
+const ProgramThread& Program::main_thread() const {
+  const ProgramThread* found = nullptr;
+  for (const auto& t : threads) {
+    if (!t.is_background()) {
+      POPPROTO_CHECK_MSG(found == nullptr,
+                         "programs support exactly one looping thread");
+      found = &t;
+    }
+  }
+  POPPROTO_CHECK_MSG(found != nullptr, "program has no looping thread");
+  return *found;
+}
+
+std::vector<const ProgramThread*> Program::background_threads() const {
+  std::vector<const ProgramThread*> out;
+  for (const auto& t : threads)
+    if (t.is_background()) out.push_back(&t);
+  return out;
+}
+
+State Program::initial_state() const {
+  State s = 0;
+  for (const auto& [v, on] : initializers)
+    if (on) s |= var_bit(v);
+  return s;
+}
+
+int stmt_depth(const std::vector<Stmt>& body) {
+  int depth = 1;
+  for (const auto& s : body) {
+    switch (s.kind) {
+      case StmtKind::kRepeatLog:
+        depth = std::max(depth, 1 + stmt_depth(s.body));
+        break;
+      case StmtKind::kIfExists:
+        depth = std::max(depth, stmt_depth(s.then_branch));
+        if (!s.else_branch.empty())
+          depth = std::max(depth, stmt_depth(s.else_branch));
+        break;
+      default:
+        break;
+    }
+  }
+  return depth;
+}
+
+int Program::loop_depth() const { return stmt_depth(main_thread().body); }
+
+}  // namespace popproto

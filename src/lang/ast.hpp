@@ -1,0 +1,98 @@
+// The sequential programming language for protocol formulation (paper §2.1).
+//
+// A program is a set of threads over one pool of boolean state variables.
+// One thread may be a *looping* thread ("repeat: [body]" — the Main thread
+// of §3); the others are background ruleset threads ("execute ruleset:").
+// Statements:
+//   * execute for >= c ln n rounds ruleset: [rules]
+//   * X := condition            (also X := fair coin, used by LeaderElection)
+//   * if exists (condition): [block] else: [block]
+//   * repeat >= c ln n times: [block]     (nested loops)
+//
+// Programs are executed two ways:
+//   * lang/runtime.hpp — the reference semantics promised by Theorem 2.4
+//     (good iterations, with failure injection for the adversarial parts);
+//   * lang/precompile.hpp + lang/compile.hpp — the real compilation to a
+//     population protocol gated by the clock hierarchy (§4, §5.4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/rule.hpp"
+
+namespace popproto {
+
+enum class StmtKind {
+  kExecuteRuleset,  // leaf: run `rules` for >= c ln n rounds
+  kAssign,          // X := condition  /  X := fair coin
+  kIfExists,        // if exists (condition): then else: otherwise
+  kRepeatLog,       // repeat >= c ln n times: body
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExecuteRuleset;
+
+  // kExecuteRuleset
+  std::vector<Rule> rules;
+
+  // kAssign
+  VarId target = 0;
+  BoolExpr source = BoolExpr::any();  // ignored when coin == true
+  bool coin = false;                  // X := {on, off} u.a.r., per agent
+
+  // kIfExists
+  BoolExpr condition = BoolExpr::any();
+  std::vector<Stmt> then_branch;
+  std::vector<Stmt> else_branch;
+
+  // kRepeatLog
+  std::vector<Stmt> body;
+};
+
+/// Statement constructors mirroring the paper's syntax.
+Stmt execute_ruleset(std::vector<Rule> rules);
+Stmt assign(VarId target, BoolExpr source);
+Stmt assign_coin(VarId target);
+Stmt if_exists(BoolExpr condition, std::vector<Stmt> then_branch,
+               std::vector<Stmt> else_branch = {});
+Stmt repeat_log(std::vector<Stmt> body);
+
+struct ProgramThread {
+  std::string name;
+  /// Looping thread: body of the outermost "repeat:"; executed forever.
+  std::vector<Stmt> body;
+  /// Background thread: a plain ruleset executed continuously. A thread is
+  /// either looping (rules empty) or background (body empty).
+  std::vector<Rule> background_rules;
+
+  bool is_background() const { return !background_rules.empty(); }
+};
+
+struct Program {
+  std::string name;
+  VarSpacePtr vars;
+  /// Initial variable values at protocol startup ("var X <- on"); variables
+  /// not listed start unset.
+  std::vector<std::pair<VarId, bool>> initializers;
+  std::vector<ProgramThread> threads;
+
+  /// The unique looping thread (checked).
+  const ProgramThread& main_thread() const;
+  /// Background threads, in declaration order.
+  std::vector<const ProgramThread*> background_threads() const;
+
+  /// Initial user state implied by the initializers.
+  State initial_state() const;
+
+  /// Maximum nesting depth of repeat-log loops in the main thread's body
+  /// (leaves of the precompiled tree sit at depth 1). Minimum 1.
+  int loop_depth() const;
+};
+
+/// Depth of a statement list: 1 + max nesting of kRepeatLog inside.
+int stmt_depth(const std::vector<Stmt>& body);
+
+}  // namespace popproto

@@ -1,0 +1,81 @@
+#include "lang/derandomize.hpp"
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+std::vector<Rule> make_filtered_coin_rules(VarSpace& vars,
+                                           const std::string& prefix,
+                                           VarId* coin_out) {
+  const VarId f = vars.intern(prefix + "F");
+  const VarId i = vars.intern(prefix + "I");
+  const VarId s = vars.intern(prefix + "S");
+  const BoolExpr F = BoolExpr::var(f);
+  const BoolExpr I = BoolExpr::var(i);
+  const BoolExpr S = BoolExpr::var(s);
+  if (coin_out != nullptr) *coin_out = f;
+  std::vector<Rule> rules;
+  rules.push_back(make_rule(I, I, !I && S, !I && !S, prefix + "bootstrap"));
+  rules.push_back(make_rule(I, !I, !I, BoolExpr::any(), prefix + "drain"));
+  rules.push_back(make_rule(S, !S, S && F, S && F, prefix + "flip_up"));
+  rules.push_back(make_rule(!S, S, !S && F, !S && F, prefix + "flip_down"));
+  rules.push_back(make_rule(F, BoolExpr::any(), !F, BoolExpr::any(),
+                            prefix + "decay"));
+  return rules;
+}
+
+namespace {
+
+int replace_coins(std::vector<Stmt>& body, VarId coin) {
+  int replaced = 0;
+  for (auto& s : body) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        if (s.coin) {
+          s.coin = false;
+          s.source = BoolExpr::var(coin);
+          ++replaced;
+        }
+        break;
+      case StmtKind::kIfExists:
+        replaced += replace_coins(s.then_branch, coin);
+        replaced += replace_coins(s.else_branch, coin);
+        break;
+      case StmtKind::kRepeatLog:
+        replaced += replace_coins(s.body, coin);
+        break;
+      case StmtKind::kExecuteRuleset:
+        break;
+    }
+  }
+  return replaced;
+}
+
+}  // namespace
+
+DerandomizedProgram derandomize(const Program& program) {
+  DerandomizedProgram out;
+  out.program = program;
+  std::vector<Rule> coin_rules =
+      make_filtered_coin_rules(*out.program.vars, "SYN_", &out.coin_var);
+  for (auto& thread : out.program.threads) {
+    if (!thread.is_background())
+      out.coins_replaced += replace_coins(thread.body, out.coin_var);
+  }
+  if (out.coins_replaced > 0) {
+    // Seed the coin machinery: I and S start set for all agents (the same
+    // initialization LeaderElectionExact declares).
+    const auto i = out.program.vars->find("SYN_I");
+    const auto s = out.program.vars->find("SYN_S");
+    POPPROTO_CHECK(i && s);
+    out.program.initializers.emplace_back(*i, true);
+    out.program.initializers.emplace_back(*s, true);
+    ProgramThread coin_thread;
+    coin_thread.name = "SyntheticCoin";
+    coin_thread.background_rules = std::move(coin_rules);
+    out.program.threads.push_back(std::move(coin_thread));
+  }
+  return out;
+}
+
+}  // namespace popproto

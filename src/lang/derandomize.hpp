@@ -1,0 +1,41 @@
+// Derandomization of coin assignments (paper §1.1, closing remark):
+// "Phrasing the protocols to enforce deterministic operation is possible by
+// simulating coin tosses from randomness of the fair scheduler, using the
+// so-called synthetic coin technique [AAE+17]."
+//
+// The transformation replaces every `X := {on, off} u.a.r.` statement with
+// `X := F`, where F is the scheduler-driven synthetic coin maintained by a
+// composed FilteredCoin background thread — the same construction
+// LeaderElectionExact uses (§6.1): the I/S bootstrap splits the population
+// into a balanced marker set S, boundary meetings re-randomize membership
+// in F, and a decay rule keeps |F| hovering around a constant fraction.
+// Every protocol rule of the result is deterministic; all randomness comes
+// from the scheduler's pair choices.
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace popproto {
+
+/// Result of derandomizing a program.
+struct DerandomizedProgram {
+  Program program;
+  /// The synthetic-coin variable the transformed assignments read.
+  VarId coin_var = 0;
+  /// Number of coin assignments replaced.
+  int coins_replaced = 0;
+};
+
+/// Rewrite `program` so that no statement (and no rule) draws explicit
+/// randomness from coin assignments. Interns the FilteredCoin scratch
+/// variables into the program's VarSpace and appends the FilteredCoin
+/// background thread (unless one is already present).
+DerandomizedProgram derandomize(const Program& program);
+
+/// The FilteredCoin ruleset over freshly interned variables F/I/S with the
+/// given name prefix (shared by derandomize() and LeaderElectionExact).
+std::vector<Rule> make_filtered_coin_rules(VarSpace& vars,
+                                           const std::string& prefix,
+                                           VarId* coin_out);
+
+}  // namespace popproto

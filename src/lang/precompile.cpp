@@ -1,0 +1,238 @@
+#include "lang/precompile.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+namespace {
+
+using Node = CodeTree::Node;
+
+Node make_leaf(std::vector<Rule> rules) {
+  Node n;
+  n.leaf = true;
+  n.rules = std::move(rules);
+  return n;
+}
+
+Node make_tree(std::vector<Node> children) {
+  Node n;
+  n.leaf = false;
+  n.children = std::move(children);
+  return n;
+}
+
+Node nil_leaf() { return make_leaf({}); }
+
+int node_depth(const Node& n) {
+  if (n.leaf) return 0;
+  int d = 0;
+  for (const auto& c : n.children) d = std::max(d, node_depth(c));
+  return 1 + d;
+}
+
+int node_width(const Node& n) {
+  if (n.leaf) return 0;
+  int w = static_cast<int>(n.children.size());
+  for (const auto& c : n.children) w = std::max(w, node_width(c));
+  return w;
+}
+
+/// Conjoin a guard onto both sides of every rule in a subtree (§4 branch
+/// elimination).
+void inject_guard(Node& node, const BoolExpr& guard) {
+  if (node.leaf) {
+    for (auto& r : node.rules) r = r.strengthened(guard);
+  } else {
+    for (auto& c : node.children) inject_guard(c, guard);
+  }
+}
+
+/// Raise a node to exactly `target` levels of nesting by wrapping it in
+/// artificial single-child loops (the paper's padding step).
+Node raise_to_depth(Node node, int target) {
+  int d = node_depth(node);
+  while (d < target) {
+    node = make_tree({std::move(node)});
+    ++d;
+  }
+  return node;
+}
+
+/// Merge the then/else lowering results of an if-exists: pad the shorter
+/// list with nils, raise shapes pairwise, and take rule unions leaf-wise.
+Node merge_nodes(Node a, Node b);
+
+std::vector<Node> merge_lists(std::vector<Node> a, std::vector<Node> b) {
+  const std::size_t len = std::max(a.size(), b.size());
+  a.resize(len, nil_leaf());
+  b.resize(len, nil_leaf());
+  std::vector<Node> out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(merge_nodes(std::move(a[i]), std::move(b[i])));
+  return out;
+}
+
+Node merge_nodes(Node a, Node b) {
+  if (a.leaf && b.leaf) {
+    std::vector<Rule> rules = std::move(a.rules);
+    rules.insert(rules.end(), std::make_move_iterator(b.rules.begin()),
+                 std::make_move_iterator(b.rules.end()));
+    return make_leaf(std::move(rules));
+  }
+  const int depth = std::max(node_depth(a), node_depth(b));
+  a = raise_to_depth(std::move(a), depth);
+  b = raise_to_depth(std::move(b), depth);
+  return make_tree(merge_lists(std::move(a.children), std::move(b.children)));
+}
+
+class Lowerer {
+ public:
+  explicit Lowerer(VarSpacePtr vars) : vars_(std::move(vars)) {}
+
+  std::vector<Node> lower_block(const std::vector<Stmt>& body) {
+    std::vector<Node> out;
+    for (const auto& s : body) {
+      auto nodes = lower_stmt(s);
+      out.insert(out.end(), std::make_move_iterator(nodes.begin()),
+                 std::make_move_iterator(nodes.end()));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Node> lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExecuteRuleset:
+        return {make_leaf(s.rules)};
+      case StmtKind::kAssign:
+        return lower_assign(s);
+      case StmtKind::kIfExists:
+        return lower_if(s);
+      case StmtKind::kRepeatLog:
+        return {make_tree(lower_block(s.body))};
+    }
+    return {};
+  }
+
+  /// Fig. 1: the two-phase trigger lowering of "X := Σ".
+  std::vector<Node> lower_assign(const Stmt& s) {
+    const VarId k = fresh_var("K");
+    const BoolExpr K = BoolExpr::var(k);
+    const BoolExpr X = BoolExpr::var(s.target);
+    std::vector<Rule> arm;
+    arm.push_back(make_rule(!K, BoolExpr::any(), K, BoolExpr::any(),
+                            "assign_arm"));
+    std::vector<Rule> fire;
+    if (s.coin) {
+      Outcome heads;
+      heads.probability = 0.5;
+      heads.initiator = update_from_formula(X && !K);
+      Outcome tails;
+      tails.probability = 0.5;
+      tails.initiator = update_from_formula(!X && !K);
+      fire.emplace_back(K, BoolExpr::any(),
+                        std::vector<Outcome>{heads, tails}, "assign_coin");
+    } else {
+      fire.push_back(make_rule(s.source && K, BoolExpr::any(), X && !K,
+                               BoolExpr::any(), "assign_set"));
+      fire.push_back(make_rule(!s.source && K, BoolExpr::any(), !X && !K,
+                               BoolExpr::any(), "assign_clear"));
+    }
+    std::vector<Node> out;
+    out.push_back(make_leaf(std::move(arm)));
+    out.push_back(make_leaf(std::move(fire)));
+    return out;
+  }
+
+  /// Fig. 2 + branch elimination: evaluation of "if exists (Σ)" into the
+  /// fresh flag Z_#, then guard-injected merge of the two branches.
+  std::vector<Node> lower_if(const Stmt& s) {
+    const VarId z = fresh_var("Z");
+    const BoolExpr Z = BoolExpr::var(z);
+
+    // Z_# := off, via the standard assignment lowering.
+    Stmt reset;
+    reset.kind = StmtKind::kAssign;
+    reset.target = z;
+    reset.source = BoolExpr::constant(false);
+    std::vector<Node> out = lower_assign(reset);
+
+    // Epidemic with source Σ onto Z_#.
+    std::vector<Rule> epidemic;
+    epidemic.push_back(make_rule(s.condition, BoolExpr::any(), BoolExpr::any(),
+                                 Z, "exists_seed"));
+    epidemic.push_back(
+        make_rule(Z, BoolExpr::any(), BoolExpr::any(), Z, "exists_spread"));
+    out.push_back(make_leaf(std::move(epidemic)));
+
+    // Lower both branches, inject Z / ¬Z, merge element-wise.
+    std::vector<Node> then_nodes = lower_block(s.then_branch);
+    for (auto& n : then_nodes) inject_guard(n, Z);
+    std::vector<Node> else_nodes = lower_block(s.else_branch);
+    for (auto& n : else_nodes) inject_guard(n, !Z);
+    auto merged = merge_lists(std::move(then_nodes), std::move(else_nodes));
+    out.insert(out.end(), std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()));
+    return out;
+  }
+
+  VarId fresh_var(const char* prefix) {
+    return vars_->intern(std::string("#") + prefix +
+                         std::to_string(counter_++));
+  }
+
+  VarSpacePtr vars_;
+  int counter_ = 0;
+};
+
+/// Pad the tree to a complete `width`-ary tree of uniform depth.
+Node pad(Node node, int width, int depth) {
+  if (depth == 0) {
+    POPPROTO_CHECK(node.leaf);
+    return node;
+  }
+  if (node.leaf) node = make_tree({std::move(node)});
+  node.children.resize(static_cast<std::size_t>(width), nil_leaf());
+  for (auto& c : node.children)
+    c = pad(std::move(c), width, depth - 1);
+  return node;
+}
+
+}  // namespace
+
+const std::vector<Rule>* CodeTree::leaf(const std::vector<int>& tau) const {
+  POPPROTO_CHECK(static_cast<int>(tau.size()) == depth);
+  const Node* node = &root;
+  for (int level = depth; level >= 1; --level) {
+    const int slot = tau[static_cast<std::size_t>(level - 1)];
+    if (slot < 1 || slot > static_cast<int>(node->children.size()))
+      return nullptr;
+    node = &node->children[static_cast<std::size_t>(slot - 1)];
+  }
+  POPPROTO_CHECK(node->leaf);
+  return &node->rules;
+}
+
+std::size_t CodeTree::num_leaves() const {
+  std::size_t n = 1;
+  for (int i = 0; i < depth; ++i) n *= static_cast<std::size_t>(width);
+  return n;
+}
+
+CodeTree precompile(const Program& program) {
+  Lowerer lowerer(program.vars);
+  Node root = make_tree(lowerer.lower_block(program.main_thread().body));
+  CodeTree tree;
+  tree.vars = program.vars;
+  tree.depth = node_depth(root);
+  tree.width = std::max(1, node_width(root));
+  tree.root = pad(std::move(root), tree.width, tree.depth);
+  return tree;
+}
+
+}  // namespace popproto

@@ -1,0 +1,49 @@
+// Precompilation (paper §4): lowering the language to a complete w-ary tree
+// of rulesets.
+//
+//  * Assignments "X := Σ" become the two-phase trigger construction of
+//    Fig. 1 (set the fresh flag K_#, then let triggered agents perform the
+//    assignment and consume K_#).
+//  * "if exists (Σ)" becomes the Fig. 2 evaluation (unset the fresh flag
+//    Z_#, then run an epidemic seeded by Σ onto Z_#), followed by the
+//    standard branch-elimination: both branches are padded to the same
+//    shape and merged leaf-wise, with Z_# / ¬Z_# conjoined to the guards of
+//    rules from the then / else branch respectively.
+//  * "repeat >= c ln n times" becomes an internal tree node.
+//  * Finally the tree is padded to a complete w_max-ary tree of uniform
+//    depth l_max by inserting artificial loops and nil rulesets.
+//
+// Leaves of the resulting tree are the units gated by the time paths of the
+// clock hierarchy (§5.4): leaf τ = (τ_{l_max}, ..., τ_1) executes while
+// Π_τ = C^{(1)}_{4τ_1} ∧ ⋀_{j>1} C*^{(j)}_{4τ_j} holds.
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace popproto {
+
+struct CodeTree {
+  struct Node {
+    bool leaf = true;
+    std::vector<Rule> rules;      // leaf payload (empty = nil instruction)
+    std::vector<Node> children;   // internal node payload
+  };
+
+  Node root;       // children of the root are the slots of clock l_max
+  int depth = 1;   // l_max
+  int width = 1;   // w_max: uniform fanout after padding
+  VarSpacePtr vars;
+
+  /// Leaf for time path tau, with tau[0] = τ_1 (innermost, clock 1) ...
+  /// tau[depth-1] = τ_{l_max}; slots are 1-based. Returns nullptr for an
+  /// out-of-range path.
+  const std::vector<Rule>* leaf(const std::vector<int>& tau) const;
+
+  std::size_t num_leaves() const;  // width^depth
+};
+
+/// Precompile the main thread of a program. Interns fresh trigger/flag
+/// variables (K#, Z#) into the program's VarSpace.
+CodeTree precompile(const Program& program);
+
+}  // namespace popproto

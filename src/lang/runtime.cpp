@@ -1,0 +1,243 @@
+#include "lang/runtime.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+namespace {
+
+/// A primitive operation reachable in the code, together with the chain of
+/// enclosing `if exists` conditions. In the compiled protocol the branch
+/// bodies are gated on the Z_# flags (Fig. 2), which can only ever be set
+/// while their condition holds somewhere (Def. 2.1) — so the chaos phase
+/// may fire a nested operation only while its conditions currently exist.
+struct ChaosOp {
+  const Stmt* assign = nullptr;  // kAssign ops
+  const Rule* rule = nullptr;    // rules of kExecuteRuleset ops
+  std::vector<Guard> conditions;
+};
+
+void collect_ops(const std::vector<Stmt>& body, std::vector<Guard>& conds,
+                 std::vector<ChaosOp>& out) {
+  for (const auto& s : body) {
+    switch (s.kind) {
+      case StmtKind::kExecuteRuleset:
+        for (const auto& r : s.rules)
+          out.push_back(ChaosOp{nullptr, &r, conds});
+        break;
+      case StmtKind::kAssign:
+        out.push_back(ChaosOp{&s, nullptr, conds});
+        break;
+      case StmtKind::kIfExists: {
+        conds.emplace_back(s.condition);
+        collect_ops(s.then_branch, conds, out);
+        conds.pop_back();
+        conds.emplace_back(!s.condition);
+        collect_ops(s.else_branch, conds, out);
+        conds.pop_back();
+        break;
+      }
+      case StmtKind::kRepeatLog:
+        collect_ops(s.body, conds, out);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+FrameworkRuntime::FrameworkRuntime(const Program& program, std::size_t n,
+                                   RuntimeOptions opts)
+    : FrameworkRuntime(program,
+                       std::vector<State>(n, State{0}), opts) {}
+
+FrameworkRuntime::FrameworkRuntime(const Program& program,
+                                   std::vector<State> inputs,
+                                   RuntimeOptions opts)
+    : program_(program),
+      opts_(opts),
+      pop_([&] {
+        const State init = program.initial_state();
+        for (auto& s : inputs) s |= init;
+        return AgentPopulation(std::move(inputs));
+      }()),
+      rng_(opts.seed),
+      background_(program.background_threads()) {
+  const double ln_n = std::log(static_cast<double>(pop_.size()));
+  exec_rounds_ = opts_.c * ln_n;
+  repeat_count_ = static_cast<std::size_t>(std::ceil(opts_.c * ln_n));
+  (void)program_.main_thread();  // validates thread structure
+}
+
+void FrameworkRuntime::exec_rules(const std::vector<Rule>& rules,
+                                  double rounds_to_run) {
+  rounds_ += rounds_to_run;
+  const std::size_t threads = (rules.empty() ? 0 : 1) + background_.size();
+  if (threads == 0) return;
+  const auto interactions = static_cast<std::uint64_t>(
+      rounds_to_run * static_cast<double>(pop_.size()));
+  for (std::uint64_t i = 0; i < interactions; ++i) {
+    const auto [a, b] = rng_.distinct_pair(pop_.size());
+    const std::size_t t = rng_.below(threads);
+    const std::vector<Rule>* ruleset;
+    if (!rules.empty() && t == 0) {
+      ruleset = &rules;
+    } else {
+      const std::size_t bi = t - (rules.empty() ? 0 : 1);
+      ruleset = &background_[bi]->background_rules;
+    }
+    if (ruleset->empty()) continue;
+    const Rule& rule = (*ruleset)[rng_.below(ruleset->size())];
+    const State sa = pop_.state(a);
+    const State sb = pop_.state(b);
+    if (!rule.matches(sa, sb)) continue;
+    const auto [na, nb] = rule.apply(sa, sb, rng_);
+    if (na != sa) pop_.set_state(a, na);
+    if (nb != sb) pop_.set_state(b, nb);
+  }
+}
+
+void FrameworkRuntime::run_background(double rounds_to_run) {
+  static const std::vector<Rule> kNone;
+  exec_rules(kNone, rounds_to_run);
+}
+
+bool FrameworkRuntime::evaluate_exists(const BoolExpr& condition) {
+  const Guard guard(condition);
+  if (!opts_.epidemic_if_exists) return pop_.exists(guard);
+  // Fig. 2 lowering: unset all Z flags, then run the epidemic with source
+  // set {agents satisfying the condition} for c ln n rounds; the branch
+  // decision is whether any flag ended up set.
+  std::vector<std::uint8_t> z(pop_.size(), 0);
+  const auto interactions = static_cast<std::uint64_t>(
+      exec_rounds_ * static_cast<double>(pop_.size()));
+  for (std::uint64_t i = 0; i < interactions; ++i) {
+    const auto [a, b] = rng_.distinct_pair(pop_.size());
+    if (z[a] || guard.matches(pop_.state(a))) z[b] = 1;
+  }
+  for (std::size_t i = 0; i < pop_.size(); ++i)
+    if (z[i]) return true;
+  return false;
+}
+
+void FrameworkRuntime::apply_assign(const Stmt& stmt, bool good) {
+  const Guard guard(stmt.source);
+  for (std::size_t i = 0; i < pop_.size(); ++i) {
+    if (!good && rng_.coin()) continue;  // adversarial partial assignment
+    const State s = pop_.state(i);
+    const bool value = stmt.coin ? rng_.coin() : guard.matches(s);
+    const State ns = value ? (s | var_bit(stmt.target))
+                           : (s & ~var_bit(stmt.target));
+    if (ns != s) pop_.set_state(i, ns);
+  }
+}
+
+void FrameworkRuntime::run_stmt(const Stmt& stmt, bool good) {
+  switch (stmt.kind) {
+    case StmtKind::kExecuteRuleset: {
+      const double r =
+          good ? exec_rounds_ : rng_.uniform() * exec_rounds_;
+      exec_rules(stmt.rules, r);
+      break;
+    }
+    case StmtKind::kAssign:
+      apply_assign(stmt, good);
+      run_background(2.0 * exec_rounds_);  // the Fig. 1 two-phase charge
+      break;
+    case StmtKind::kIfExists: {
+      run_background(2.0 * exec_rounds_);  // Z reset + epidemic charge
+      bool take_then;
+      if (good) {
+        take_then = evaluate_exists(stmt.condition);
+      } else {
+        // Adversarial evaluation: stale Z flags may exist only while the
+        // condition holds somewhere (Def. 2.1's second constraint), so a
+        // currently-false condition forces the else branch; a true one may
+        // resolve either way.
+        take_then = pop_.exists(Guard(stmt.condition)) && rng_.coin();
+      }
+      run_block(take_then ? stmt.then_branch : stmt.else_branch, good);
+      break;
+    }
+    case StmtKind::kRepeatLog: {
+      const std::size_t count =
+          good ? repeat_count_
+               : static_cast<std::size_t>(rng_.below(repeat_count_ + 1));
+      for (std::size_t i = 0; i < count; ++i) run_block(stmt.body, good);
+      break;
+    }
+  }
+}
+
+void FrameworkRuntime::run_block(const std::vector<Stmt>& body, bool good) {
+  for (const auto& s : body) {
+    if (!good && rng_.chance(0.25)) return;  // adversarial early abort
+    run_stmt(s, good);
+  }
+}
+
+void FrameworkRuntime::run_iteration() {
+  if (!chaos_done_) {
+    chaos_done_ = true;
+    if (opts_.startup_chaos_rounds > 0.0) {
+      // Uncontrolled pre-phase: all rules fire in no particular order and
+      // assignments hit arbitrary subsets of agents (§3), except that
+      // operations nested in `if exists` branches stay disabled while
+      // their conditions are absent (Def. 2.1 via the Z_# gating).
+      std::vector<ChaosOp> pool;
+      std::vector<Guard> conds;
+      collect_ops(program_.main_thread().body, conds, pool);
+      for (const auto* bt : background_)
+        for (const auto& r : bt->background_rules)
+          pool.push_back(ChaosOp{nullptr, &r, {}});
+      const auto interactions = static_cast<std::uint64_t>(
+          opts_.startup_chaos_rounds * static_cast<double>(pop_.size()));
+      rounds_ += opts_.startup_chaos_rounds;
+      for (std::uint64_t i = 0; i < interactions && !pool.empty(); ++i) {
+        const auto [a, b] = rng_.distinct_pair(pop_.size());
+        const ChaosOp& op = pool[rng_.below(pool.size())];
+        bool enabled = true;
+        for (const auto& g : op.conditions)
+          if (!pop_.exists(g)) {
+            enabled = false;
+            break;
+          }
+        if (!enabled) continue;
+        if (op.assign != nullptr) {
+          const Guard guard(op.assign->source);
+          const State s = pop_.state(a);
+          const bool value = op.assign->coin ? rng_.coin() : guard.matches(s);
+          pop_.set_state(a, value ? (s | var_bit(op.assign->target))
+                                  : (s & ~var_bit(op.assign->target)));
+        } else {
+          const Rule& rule = *op.rule;
+          const State sa = pop_.state(a);
+          const State sb = pop_.state(b);
+          if (!rule.matches(sa, sb)) continue;
+          const auto [na, nb] = rule.apply(sa, sb, rng_);
+          if (na != sa) pop_.set_state(a, na);
+          if (nb != sb) pop_.set_state(b, nb);
+        }
+      }
+    }
+  }
+  const bool good = !rng_.chance(opts_.bad_iteration_rate);
+  run_block(program_.main_thread().body, good);
+  ++iterations_;
+}
+
+std::optional<double> FrameworkRuntime::run_until(
+    const std::function<bool(const AgentPopulation&)>& predicate,
+    std::size_t max_iterations) {
+  if (predicate(pop_)) return rounds();
+  while (iterations_ < max_iterations) {
+    run_iteration();
+    if (predicate(pop_)) return rounds();
+  }
+  return std::nullopt;
+}
+
+}  // namespace popproto

@@ -1,0 +1,64 @@
+#include "protocols/baselines.hpp"
+
+namespace popproto {
+
+Protocol make_approximate_majority_protocol(VarSpacePtr vars) {
+  const VarId a = vars->intern("BA");
+  const VarId b = vars->intern("BB");
+  const BoolExpr A = BoolExpr::var(a);
+  const BoolExpr B = BoolExpr::var(b);
+  const BoolExpr blank = !A && !B;
+  std::vector<Rule> rules;
+  rules.push_back(make_rule(A, B, BoolExpr::any(), !B, "am_erase_b"));
+  rules.push_back(make_rule(B, A, BoolExpr::any(), !A, "am_erase_a"));
+  rules.push_back(make_rule(A, blank, BoolExpr::any(), A, "am_recruit_a"));
+  rules.push_back(make_rule(B, blank, BoolExpr::any(), B, "am_recruit_b"));
+  Protocol p("approximate_majority", std::move(vars));
+  p.add_thread("ApproxMajority", std::move(rules));
+  return p;
+}
+
+Protocol make_dv12_majority_protocol(VarSpacePtr vars) {
+  const VarId ma = vars->intern("MA");
+  const VarId mb = vars->intern("MB");
+  const VarId st = vars->intern("STRONG");
+  const BoolExpr A = BoolExpr::var(ma);
+  const BoolExpr B = BoolExpr::var(mb);
+  const BoolExpr S = BoolExpr::var(st);
+  std::vector<Rule> rules;
+  // Opposite strong tokens annihilate into weak opinions (the invariant
+  // #strongA - #strongB is conserved).
+  rules.push_back(make_rule(A && S, B && S, !S, !S, "dv_weaken"));
+  // Strong tokens convert opposite weak opinions.
+  rules.push_back(make_rule(A && S, B && !S, BoolExpr::any(), A && !B,
+                            "dv_convert_a"));
+  rules.push_back(make_rule(B && S, A && !S, BoolExpr::any(), B && !A,
+                            "dv_convert_b"));
+  Protocol p("dv12_exact_majority", std::move(vars));
+  p.add_thread("DV12", std::move(rules));
+  return p;
+}
+
+Protocol make_fratricide_protocol(VarSpacePtr vars) {
+  const VarId l = vars->intern("L");
+  const BoolExpr L = BoolExpr::var(l);
+  std::vector<Rule> rules;
+  rules.push_back(make_rule(L, L, L, !L, "fratricide"));
+  Protocol p("fratricide_leader_election", std::move(vars));
+  p.add_thread("Fratricide", std::move(rules));
+  return p;
+}
+
+Protocol make_synthetic_coin_protocol(VarSpacePtr vars) {
+  const VarId c = vars->intern("COIN");
+  const BoolExpr C = BoolExpr::var(c);
+  std::vector<Rule> rules;
+  // initiator := initiator XOR responder, enumerated over the four cases.
+  rules.push_back(make_rule(!C, C, C, BoolExpr::any(), "coin_01"));
+  rules.push_back(make_rule(C, C, !C, BoolExpr::any(), "coin_11"));
+  Protocol p("synthetic_coin", std::move(vars));
+  p.add_thread("SyntheticCoin", std::move(rules));
+  return p;
+}
+
+}  // namespace popproto

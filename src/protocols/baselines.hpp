@@ -1,0 +1,35 @@
+// Baseline protocols from the paper's related-work discussion (§1.2), used
+// by the comparison experiments T11/T12.
+//
+//  * 3-state approximate majority [AAE08a]: O(log n) time but requires an
+//    Ω(sqrt(n log n)) gap to be correct w.h.p.
+//  * 4-state exact majority [DV12, MNRS14]: always correct, but Θ(n log n)
+//    expected convergence (the "prohibitive polynomial time" the paper's
+//    protocols beat).
+//  * Fratricide leader election (folklore L + L -> L + follower): Θ(n).
+//  * Synthetic coin [AAE+17]: extracting near-fair per-agent coins from the
+//    randomness of the scheduler (used to de-randomize our protocols).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace popproto {
+
+/// 3-state approximate majority. Variables: "BA", "BB" (A-leaning/B-leaning;
+/// neither = blank). Inputs: agents start in BA or BB.
+Protocol make_approximate_majority_protocol(VarSpacePtr vars);
+
+/// 4-state exact majority. Variables: "MA"/"MB" pick the side, "STRONG"
+/// distinguishes the token-carrying strong states. Inputs: strong A/B.
+Protocol make_dv12_majority_protocol(VarSpacePtr vars);
+
+/// Fratricide leader election: all agents start with "L" set.
+Protocol make_fratricide_protocol(VarSpacePtr vars);
+
+/// Synthetic coin: every agent holds bit "COIN"; on interaction the
+/// initiator XORs the responder's bit into its own. Starting from any
+/// configuration with at least one set bit, per-agent bits mix towards
+/// near-fair coins within O(log n) rounds.
+Protocol make_synthetic_coin_protocol(VarSpacePtr vars);
+
+}  // namespace popproto

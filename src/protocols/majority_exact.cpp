@@ -1,0 +1,48 @@
+#include "protocols/majority_exact.hpp"
+
+#include "protocols/majority.hpp"
+
+namespace popproto {
+
+Program make_majority_exact_program(VarSpacePtr vars) {
+  const VarId A = vars->intern(kMajInputA);
+  const VarId B = vars->intern(kMajInputB);
+  const VarId Y = vars->intern(kMajOutput);
+  const VarId As = vars->intern("MAJX_As");
+  const VarId Bs = vars->intern("MAJX_Bs");
+  const VarId K = vars->intern("MAJX_K");
+
+  std::vector<Stmt> inner;
+  inner.push_back(execute_ruleset(majority_cancel_rules(As, Bs)));
+  inner.push_back(assign(K, BoolExpr::constant(false)));
+  inner.push_back(execute_ruleset(majority_duplicate_rules(As, Bs, K)));
+
+  std::vector<Stmt> body;
+  body.push_back(assign(As, BoolExpr::var(A)));
+  body.push_back(assign(Bs, BoolExpr::var(B)));
+  body.push_back(repeat_log(std::move(inner)));
+  body.push_back(if_exists(BoolExpr::var(As),
+                           {assign(Y, BoolExpr::constant(true))}));
+  body.push_back(if_exists(BoolExpr::var(Bs),
+                           {assign(Y, BoolExpr::constant(false))}));
+
+  Program p;
+  p.name = "MajorityExact";
+  p.vars = vars;
+  ProgramThread main;
+  main.name = "Main";
+  main.body = std::move(body);
+  p.threads.push_back(std::move(main));
+
+  // Background: slow deterministic cancellation on the inputs themselves
+  // (Main "uses" A, B here, unlike Majority which only reads them).
+  ProgramThread slow;
+  slow.name = "SlowCancel";
+  slow.background_rules = {make_rule(BoolExpr::var(A), BoolExpr::var(B),
+                                     !BoolExpr::var(A), !BoolExpr::var(B),
+                                     "slow_cancel")};
+  p.threads.push_back(std::move(slow));
+  return p;
+}
+
+}  // namespace popproto

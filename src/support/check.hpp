@@ -1,0 +1,37 @@
+// Lightweight invariant checking used across the library.
+//
+// POPPROTO_CHECK is always on (library correctness conditions, cheap).
+// POPPROTO_DCHECK compiles out in NDEBUG builds (hot-path sanity checks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace popproto {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "popproto check failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace popproto
+
+#define POPPROTO_CHECK(cond)                                      \
+  do {                                                            \
+    if (!(cond)) ::popproto::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define POPPROTO_CHECK_MSG(cond, msg)                                \
+  do {                                                               \
+    if (!(cond)) ::popproto::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define POPPROTO_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define POPPROTO_DCHECK(cond) POPPROTO_CHECK(cond)
+#endif

@@ -1,0 +1,84 @@
+#include "support/fitting.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace popproto {
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  POPPROTO_CHECK(x.size() == y.size());
+  POPPROTO_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.intercept + f.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  f.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+LinearFit fit_polylog(const std::vector<double>& n, const std::vector<double>& y,
+                      double power) {
+  std::vector<double> x(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i)
+    x[i] = std::pow(std::log(n[i]), power);
+  return fit_linear(x, y);
+}
+
+PolylogChoice best_polylog_power(const std::vector<double>& n,
+                                 const std::vector<double>& y, int max_power) {
+  POPPROTO_CHECK(max_power >= 1);
+  PolylogChoice best;
+  best.r_squared = -1.0;
+  for (int p = 1; p <= max_power; ++p) {
+    const LinearFit f = fit_polylog(n, y, p);
+    // Penalize fits whose intercept dominates the signal: a good Θ((ln n)^p)
+    // description should explain the data mostly through the slope term.
+    if (f.r_squared > best.r_squared) {
+      best.power = p;
+      best.coefficient = f.slope;
+      best.r_squared = f.r_squared;
+    }
+  }
+  return best;
+}
+
+LinearFit fit_power_law(const std::vector<double>& n, const std::vector<double>& y) {
+  POPPROTO_CHECK(n.size() == y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(n.size());
+  ly.reserve(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    POPPROTO_CHECK(n[i] > 0.0);
+    if (y[i] <= 0.0) continue;  // zero measurements carry no log-scale info
+    lx.push_back(std::log(n[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  POPPROTO_CHECK(lx.size() >= 2);
+  return fit_linear(lx, ly);
+}
+
+std::string describe_polylog(const PolylogChoice& c) {
+  return "~ " + format_double(c.coefficient, 3) + " * (ln n)^" +
+         std::to_string(c.power) + "  (R^2=" + format_double(c.r_squared, 4) + ")";
+}
+
+}  // namespace popproto

@@ -1,0 +1,40 @@
+// Scaling-law fits used to compare measured convergence times against the
+// paper's asymptotic claims (Θ(log n), Θ(log² n), Θ(n^ε), ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace popproto {
+
+/// Least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y ≈ a * (ln x)^p for a fixed power p; returns the coefficient a and
+/// the R² of the linear fit of y against (ln x)^p.
+LinearFit fit_polylog(const std::vector<double>& n, const std::vector<double>& y,
+                      double power);
+
+/// Pick the integer power p in [1, max_power] for which y ~ (ln n)^p fits
+/// best (highest R² of the through-origin regression).
+struct PolylogChoice {
+  int power = 1;
+  double coefficient = 0.0;
+  double r_squared = 0.0;
+};
+PolylogChoice best_polylog_power(const std::vector<double>& n,
+                                 const std::vector<double>& y, int max_power);
+
+/// Fit y ≈ c * n^e via regression of ln y on ln n. Returns {e, ln c, R²}.
+LinearFit fit_power_law(const std::vector<double>& n, const std::vector<double>& y);
+
+/// Human-readable "y ~ coeff * (ln n)^p  (R²=..)" string.
+std::string describe_polylog(const PolylogChoice& c);
+
+}  // namespace popproto

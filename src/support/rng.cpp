@@ -1,0 +1,95 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace popproto {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Never allow the all-zero state; splitmix64 seeding guarantees this
+  // except for pathological fixed points, which we guard against anyway.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  POPPROTO_DCHECK(bound > 0);
+  // Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  POPPROTO_DCHECK(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  POPPROTO_DCHECK(p > 0.0);
+  if (p >= 1.0) return 0;
+  // Inversion: floor(ln(U) / ln(1-p)), with U in (0, 1].
+  double u = 1.0 - uniform();  // (0, 1]
+  double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g < 0) g = 0;
+  return static_cast<std::uint64_t>(g);
+}
+
+std::pair<std::uint64_t, std::uint64_t> Rng::distinct_pair(std::uint64_t n) {
+  POPPROTO_DCHECK(n >= 2);
+  const std::uint64_t a = below(n);
+  std::uint64_t b = below(n - 1);
+  if (b >= a) ++b;
+  return {a, b};
+}
+
+Rng Rng::split() {
+  std::uint64_t seed = (*this)();
+  return Rng(seed);
+}
+
+}  // namespace popproto

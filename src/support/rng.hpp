@@ -1,0 +1,60 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library draw from Rng (xoshiro256**)
+// seeded explicitly; experiment harnesses derive per-trial seeds with
+// split(). Nothing in the library ever touches global random state, so every
+// table in bench/ is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+/// SplitMix64 step; used for seeding and for deriving independent streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Fair coin.
+  bool coin() { return ((*this)() >> 63) != 0; }
+
+  /// Geometric: number of failures before the first success, success
+  /// probability p in (0, 1]. Returns 0 immediately when p == 1.
+  std::uint64_t geometric(double p);
+
+  /// Ordered pair of distinct indices in [0, n); n must be >= 2.
+  std::pair<std::uint64_t, std::uint64_t> distinct_pair(std::uint64_t n);
+
+  /// Derive an independent generator (stream-split by jumbling state).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace popproto

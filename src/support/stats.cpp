@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double v = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return v > 0.0 ? v : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return min_; }
+double Accumulator::max() const { return max_; }
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  POPPROTO_CHECK(!sorted.empty());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Accumulator acc;
+  for (double x : samples) acc.add(x);
+  s.count = samples.size();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = quantile_sorted(samples, 0.5);
+  s.p10 = quantile_sorted(samples, 0.1);
+  s.p90 = quantile_sorted(samples, 0.9);
+  return s;
+}
+
+}  // namespace popproto

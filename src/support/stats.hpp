@@ -1,0 +1,48 @@
+// Summary statistics for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace popproto {
+
+/// One-pass accumulator for mean / variance / extrema.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full-sample summary with quantiles (copies and sorts the data).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+Summary summarize(std::vector<double> samples);
+
+/// Linear interpolation quantile of a sorted sample, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace popproto

@@ -1,0 +1,108 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  POPPROTO_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    POPPROTO_CHECK_MSG(rows_.back().size() == headers_.size(),
+                       "previous row not fully populated");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  POPPROTO_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  POPPROTO_CHECK_MSG(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+
+Table& Table::add(double v, int precision) {
+  return add(format_double(v, precision));
+}
+
+Table& Table::add_fraction(std::uint64_t num, std::uint64_t den) {
+  return add(std::to_string(num) + "/" + std::to_string(den));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << escape(headers_[c]);
+  out << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      out << (c ? "," : "") << escape(r[c]);
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title, bool csv) const {
+  if (csv) {
+    os << "# " << title << "\n" << to_csv() << "\n";
+  } else {
+    os << "### " << title << "\n\n" << to_markdown() << "\n";
+  }
+}
+
+}  // namespace popproto

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+#include "protocols/baselines.hpp"
+
+namespace popproto {
+namespace {
+
+Protocol elimination_protocol(VarSpacePtr vars) {
+  const VarId x = vars->intern("X");
+  Protocol p("elim", std::move(vars));
+  p.add_thread("T", {make_rule(BoolExpr::var(x), BoolExpr::var(x),
+                               !BoolExpr::var(x), BoolExpr::any(), "elim")});
+  return p;
+}
+
+TEST(CountEngine, ConservesPopulation) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 1000}}, 3);
+  eng.run_rounds(50);
+  std::uint64_t total = 0;
+  for (const auto& [s, c] : eng.species()) total += c;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(CountEngine, EliminationKeepsAtLeastOneX) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 512}}, 5);
+  eng.run_rounds(4000);
+  EXPECT_GE(eng.count_matching(BoolExpr::var(x)), 1u);
+}
+
+TEST(CountEngine, EliminationEventuallySilent) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 64}}, 5, CountEngineMode::kSkip);
+  // Keep stepping effective interactions until only one X remains.
+  while (eng.count_matching(BoolExpr::var(x)) > 1) {
+    ASSERT_TRUE(eng.step());
+  }
+  EXPECT_FALSE(eng.step());  // one X left: silent
+  EXPECT_TRUE(eng.silent());
+}
+
+TEST(CountEngine, SkipAndDirectAgreeInDistribution) {
+  // Compare the mean #X after a fixed time under both modes.
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  auto mean_x = [&](CountEngineMode mode, std::uint64_t seed0) {
+    double sum = 0;
+    for (int t = 0; t < 40; ++t) {
+      CountEngine eng(p, {{var_bit(x), 256}}, seed0 + t, mode);
+      eng.run_rounds(20);
+      sum += static_cast<double>(eng.count_matching(BoolExpr::var(x)));
+    }
+    return sum / 40;
+  };
+  const double direct = mean_x(CountEngineMode::kDirect, 100);
+  const double skip = mean_x(CountEngineMode::kSkip, 900);
+  EXPECT_NEAR(direct, skip, std::max(2.0, 0.15 * direct));
+}
+
+TEST(CountEngine, MatchesAgentEngineOnEpidemic) {
+  auto vars = make_var_space();
+  const VarId i = vars->intern("I");
+  Protocol p("epi", vars);
+  p.add_thread("T", {make_rule(BoolExpr::var(i), BoolExpr::any(),
+                               BoolExpr::any(), BoolExpr::var(i))});
+  auto count_frac_at = [&](double rounds) {
+    double agent_sum = 0, count_sum = 0;
+    for (int t = 0; t < 30; ++t) {
+      std::vector<State> init(500, 0);
+      init[0] = var_bit(i);
+      Engine ag(p, std::move(init), 50 + t);
+      ag.run_rounds(rounds);
+      agent_sum += static_cast<double>(ag.population().count_var(i));
+      CountEngine ce(p, {{var_bit(i), 1}, {0, 499}}, 950 + t);
+      ce.run_rounds(rounds);
+      count_sum += static_cast<double>(ce.count_matching(BoolExpr::var(i)));
+    }
+    return std::pair{agent_sum / 30, count_sum / 30};
+  };
+  const auto [agent_mean, count_mean] = count_frac_at(6.0);
+  EXPECT_NEAR(agent_mean, count_mean, 0.2 * agent_mean + 10);
+}
+
+TEST(CountEngine, RoundsAccounting) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 100}}, 3);
+  eng.run_rounds(7.0);
+  EXPECT_GE(eng.rounds(), 7.0);
+  EXPECT_LT(eng.rounds(), 7.2);
+}
+
+TEST(CountEngine, SilentFastForwardsTime) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 1}, {0, 99}}, 3, CountEngineMode::kSkip);
+  eng.run_rounds(1000.0);  // nothing can ever happen
+  EXPECT_TRUE(eng.silent());
+  EXPECT_GE(eng.rounds(), 1000.0);
+  EXPECT_EQ(eng.count_matching(BoolExpr::var(x)), 1u);
+}
+
+TEST(CountEngine, RunUntilFindsThreshold) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 4096}}, 17);
+  const auto t = eng.run_until(
+      [&](const CountEngine& e) {
+        return e.count_matching(BoolExpr::var(x)) <= 64;
+      },
+      1e7);
+  ASSERT_TRUE(t.has_value());
+  // #X drops from n to n/64 in Θ(64) rounds (dx/dt = -x²/n).
+  EXPECT_GT(*t, 20.0);
+  EXPECT_LT(*t, 400.0);
+}
+
+TEST(CountEngine, Dv12ExactMajorityIsAlwaysCorrect) {
+  // The Θ(n log n)-time baseline is only tractable with skip-ahead.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto vars = make_var_space();
+    const Protocol p = make_dv12_majority_protocol(vars);
+    const VarId ma = *vars->find("MA");
+    const VarId mb = *vars->find("MB");
+    const VarId st = *vars->find("STRONG");
+    const std::uint64_t n = 400;
+    // Gap of exactly 2: 201 vs 199.
+    CountEngine eng(p,
+                    {{var_bit(ma) | var_bit(st), 201},
+                     {var_bit(mb) | var_bit(st), 199}},
+                    seed);
+    const auto t = eng.run_until(
+        [&](const CountEngine& e) {
+          return e.count_matching(BoolExpr::var(ma)) == n;
+        },
+        5e6);
+    ASSERT_TRUE(t.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(CountEngine, AutoModeSwitchesToSkipOnSparseDynamics) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 32}, {0, 100000}}, 3,
+                  CountEngineMode::kAuto);
+  // With 32 X among 100k agents, effective interactions are ~1e-7 of all;
+  // direct simulation of 5000 rounds would be 5e8 steps. Auto mode must
+  // finish this quickly via skip-ahead.
+  eng.run_rounds(500000);
+  EXPECT_LE(eng.count_matching(BoolExpr::var(x)), 4u);
+  EXPECT_LT(eng.effective_interactions(), 2000u);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/expr.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  VarSpacePtr vars_ = make_var_space();
+  VarId a_ = vars_->intern("A");
+  VarId b_ = vars_->intern("B");
+  VarId c_ = vars_->intern("C");
+};
+
+TEST_F(ExprTest, VarEval) {
+  const BoolExpr e = BoolExpr::var(a_);
+  EXPECT_TRUE(e.eval(var_bit(a_)));
+  EXPECT_FALSE(e.eval(0));
+  EXPECT_TRUE(e.eval(var_bit(a_) | var_bit(b_)));
+}
+
+TEST_F(ExprTest, NotAndOr) {
+  const BoolExpr e =
+      (!BoolExpr::var(a_) && BoolExpr::var(b_)) || BoolExpr::var(c_);
+  EXPECT_TRUE(e.eval(var_bit(b_)));
+  EXPECT_FALSE(e.eval(var_bit(a_) | var_bit(b_)));
+  EXPECT_TRUE(e.eval(var_bit(a_) | var_bit(c_)));
+  EXPECT_FALSE(e.eval(0));
+}
+
+TEST_F(ExprTest, ConstantsAndAny) {
+  EXPECT_TRUE(BoolExpr::any().eval(0));
+  EXPECT_TRUE(BoolExpr::constant(true).eval(~State{0}));
+  EXPECT_FALSE(BoolExpr::constant(false).eval(~State{0}));
+  EXPECT_TRUE(BoolExpr::any().is_const_true());
+  EXPECT_TRUE(BoolExpr::constant(false).is_const_false());
+}
+
+TEST_F(ExprTest, Support) {
+  const BoolExpr e = BoolExpr::var(a_) && !BoolExpr::var(c_);
+  EXPECT_EQ(e.support(), var_bit(a_) | var_bit(c_));
+  EXPECT_EQ(BoolExpr::any().support(), 0u);
+}
+
+TEST_F(ExprTest, LiteralConjunctionPositive) {
+  const BoolExpr e = BoolExpr::var(a_) && !BoolExpr::var(b_);
+  const auto lits = e.as_literal_conjunction();
+  ASSERT_TRUE(lits.has_value());
+  EXPECT_EQ(lits->set_mask, var_bit(a_));
+  EXPECT_EQ(lits->clear_mask, var_bit(b_));
+}
+
+TEST_F(ExprTest, LiteralConjunctionRejectsOr) {
+  const BoolExpr e = BoolExpr::var(a_) || BoolExpr::var(b_);
+  EXPECT_FALSE(e.as_literal_conjunction().has_value());
+}
+
+TEST_F(ExprTest, LiteralConjunctionRejectsContradiction) {
+  const BoolExpr e = BoolExpr::var(a_) && !BoolExpr::var(a_);
+  EXPECT_FALSE(e.as_literal_conjunction().has_value());
+}
+
+TEST_F(ExprTest, LiteralConjunctionOfAnyIsEmpty) {
+  const auto lits = BoolExpr::any().as_literal_conjunction();
+  ASSERT_TRUE(lits.has_value());
+  EXPECT_EQ(lits->set_mask, 0u);
+  EXPECT_EQ(lits->clear_mask, 0u);
+}
+
+TEST_F(ExprTest, ToStringMentionsNames) {
+  const BoolExpr e = BoolExpr::var(a_) && !BoolExpr::var(b_);
+  const std::string s = e.to_string(*vars_);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("!B"), std::string::npos);
+}
+
+TEST_F(ExprTest, GuardMatchesSimpleConjunction) {
+  const Guard g(BoolExpr::var(a_) && !BoolExpr::var(b_));
+  EXPECT_TRUE(g.matches(var_bit(a_)));
+  EXPECT_TRUE(g.matches(var_bit(a_) | var_bit(c_)));
+  EXPECT_FALSE(g.matches(var_bit(a_) | var_bit(b_)));
+  EXPECT_FALSE(g.matches(0));
+}
+
+TEST_F(ExprTest, GuardTautologyIsAlwaysTrue) {
+  const Guard g(BoolExpr::var(a_) || !BoolExpr::var(a_));
+  EXPECT_TRUE(g.always_true());
+}
+
+TEST_F(ExprTest, GuardContradictionNeverMatches) {
+  const Guard g(BoolExpr::var(a_) && !BoolExpr::var(a_));
+  EXPECT_TRUE(g.never_true());
+  EXPECT_FALSE(g.matches(var_bit(a_)));
+}
+
+TEST_F(ExprTest, DefaultGuardMatchesEverything) {
+  const Guard g;
+  EXPECT_TRUE(g.always_true());
+  EXPECT_TRUE(g.matches(0));
+  EXPECT_TRUE(g.matches(~State{0}));
+}
+
+TEST_F(ExprTest, GuardMergesAdjacentMinterms) {
+  // (A && B) || (A && !B) should compile down to the single minterm A.
+  const BoolExpr e = (BoolExpr::var(a_) && BoolExpr::var(b_)) ||
+                     (BoolExpr::var(a_) && !BoolExpr::var(b_));
+  const Guard g(e);
+  EXPECT_EQ(g.num_terms(), 1u);
+  EXPECT_TRUE(g.matches(var_bit(a_)));
+  EXPECT_FALSE(g.matches(var_bit(b_)));
+}
+
+// Property test: Guard::matches must agree with BoolExpr::eval on random
+// formulas and random states.
+TEST_F(ExprTest, GuardAgreesWithEvalOnRandomFormulas) {
+  Rng rng(99);
+  std::vector<VarId> ids = {a_, b_, c_, vars_->intern("D"),
+                            vars_->intern("E")};
+  // Random expression generator of bounded depth.
+  std::function<BoolExpr(int)> gen = [&](int depth) -> BoolExpr {
+    if (depth == 0 || rng.chance(0.3)) {
+      const BoolExpr v = BoolExpr::var(ids[rng.below(ids.size())]);
+      return rng.coin() ? v : !v;
+    }
+    switch (rng.below(3)) {
+      case 0:
+        return gen(depth - 1) && gen(depth - 1);
+      case 1:
+        return gen(depth - 1) || gen(depth - 1);
+      default:
+        return !gen(depth - 1);
+    }
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const BoolExpr e = gen(4);
+    const Guard g(e);
+    for (int s = 0; s < 32; ++s) {
+      const State state = static_cast<State>(s);
+      ASSERT_EQ(g.matches(state), e.eval(state))
+          << "formula " << e.to_string(*vars_) << " state " << s;
+    }
+  }
+}
+
+TEST(VarSpaceTest, InternIsIdempotent) {
+  auto vars = make_var_space();
+  const VarId a = vars->intern("A");
+  EXPECT_EQ(vars->intern("A"), a);
+  EXPECT_EQ(vars->size(), 1u);
+}
+
+TEST(VarSpaceTest, FindMissingReturnsNullopt) {
+  auto vars = make_var_space();
+  EXPECT_FALSE(vars->find("nope").has_value());
+}
+
+TEST(VarSpaceTest, DescribeListsSetVars) {
+  auto vars = make_var_space();
+  const VarId a = vars->intern("A");
+  vars->intern("B");
+  const VarId c = vars->intern("C");
+  EXPECT_EQ(vars->describe(var_bit(a) | var_bit(c)), "{A, C}");
+}
+
+TEST(VarSpaceTest, CapacityIs64) {
+  auto vars = make_var_space();
+  for (int i = 0; i < 64; ++i) vars->intern("v" + std::to_string(i));
+  EXPECT_EQ(vars->size(), 64u);
+  EXPECT_DEATH(vars->intern("overflow"), "VarSpace full");
+}
+
+}  // namespace
+}  // namespace popproto

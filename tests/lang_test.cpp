@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "lang/precompile.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/majority.hpp"
+
+namespace popproto {
+namespace {
+
+TEST(Ast, StmtConstructors) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const Stmt a = assign(x, BoolExpr::constant(true));
+  EXPECT_EQ(a.kind, StmtKind::kAssign);
+  EXPECT_FALSE(a.coin);
+  const Stmt c = assign_coin(x);
+  EXPECT_TRUE(c.coin);
+  const Stmt e = execute_ruleset({});
+  EXPECT_EQ(e.kind, StmtKind::kExecuteRuleset);
+  const Stmt i = if_exists(BoolExpr::var(x), {a}, {c});
+  EXPECT_EQ(i.then_branch.size(), 1u);
+  EXPECT_EQ(i.else_branch.size(), 1u);
+  const Stmt r = repeat_log({e});
+  EXPECT_EQ(r.kind, StmtKind::kRepeatLog);
+}
+
+TEST(Ast, DepthComputation) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const Stmt leaf = execute_ruleset({});
+  EXPECT_EQ(stmt_depth({leaf}), 1);
+  EXPECT_EQ(stmt_depth({repeat_log({leaf})}), 2);
+  EXPECT_EQ(stmt_depth({repeat_log({repeat_log({leaf})})}), 3);
+  // if-exists does not add loop depth by itself.
+  EXPECT_EQ(stmt_depth({if_exists(BoolExpr::var(x), {leaf})}), 1);
+  EXPECT_EQ(stmt_depth({if_exists(BoolExpr::var(x), {repeat_log({leaf})})}),
+            2);
+}
+
+TEST(Ast, MainThreadValidation) {
+  Program p;
+  p.vars = make_var_space();
+  ProgramThread bg;
+  bg.name = "BG";
+  bg.background_rules = {make_rule(BoolExpr::any(), BoolExpr::any(),
+                                   BoolExpr::any(), BoolExpr::any())};
+  p.threads.push_back(bg);
+  EXPECT_DEATH(p.main_thread(), "no looping thread");
+  ProgramThread main;
+  main.name = "Main";
+  main.body = {execute_ruleset({})};
+  p.threads.push_back(main);
+  EXPECT_EQ(&p.main_thread(), &p.threads[1]);
+  EXPECT_EQ(p.background_threads().size(), 1u);
+}
+
+TEST(Ast, InitialState) {
+  Program p;
+  p.vars = make_var_space();
+  const VarId a = p.vars->intern("A");
+  const VarId b = p.vars->intern("B");
+  p.initializers = {{a, true}, {b, false}};
+  EXPECT_EQ(p.initial_state(), var_bit(a));
+}
+
+TEST(Precompile, LeaderElectionIsDepthOne) {
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  EXPECT_EQ(p.loop_depth(), 1);
+  const CodeTree t = precompile(p);
+  EXPECT_EQ(t.depth, 1);
+  EXPECT_GE(t.width, 6);  // several lowered leaves
+  EXPECT_FALSE(t.root.leaf);
+  EXPECT_EQ(t.root.children.size(), static_cast<std::size_t>(t.width));
+}
+
+TEST(Precompile, MajorityIsDepthTwo) {
+  auto vars = make_var_space();
+  const Program p = make_majority_program(vars);
+  EXPECT_EQ(p.loop_depth(), 2);
+  const CodeTree t = precompile(p);
+  EXPECT_EQ(t.depth, 2);
+  // Complete tree: every internal node has exactly `width` children.
+  for (const auto& child : t.root.children) {
+    ASSERT_FALSE(child.leaf);
+    ASSERT_EQ(child.children.size(), static_cast<std::size_t>(t.width));
+    for (const auto& grandchild : child.children)
+      ASSERT_TRUE(grandchild.leaf);
+  }
+}
+
+TEST(Precompile, LeafLookupBySlot) {
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  const CodeTree t = precompile(p);
+  for (int s = 1; s <= t.width; ++s) {
+    const auto* rules = t.leaf({s});
+    ASSERT_NE(rules, nullptr);
+  }
+  EXPECT_EQ(t.leaf({0}), nullptr);
+  EXPECT_EQ(t.leaf({t.width + 1}), nullptr);
+}
+
+TEST(Precompile, AssignmentLowersToTwoPhases) {
+  Program p;
+  p.vars = make_var_space();
+  const VarId x = p.vars->intern("X");
+  const VarId y = p.vars->intern("Y");
+  ProgramThread main;
+  main.name = "Main";
+  main.body = {assign(x, BoolExpr::var(y))};
+  p.threads.push_back(std::move(main));
+  const CodeTree t = precompile(p);
+  EXPECT_EQ(t.depth, 1);
+  EXPECT_EQ(t.width, 2);  // arm leaf + fire leaf
+  // Phase 1 sets the trigger; phase 2 consumes it and writes X.
+  const auto* arm = t.leaf({1});
+  const auto* fire = t.leaf({2});
+  ASSERT_TRUE(arm && fire);
+  EXPECT_EQ(arm->size(), 1u);
+  EXPECT_EQ(fire->size(), 2u);
+  // The trigger variable was interned.
+  EXPECT_TRUE(p.vars->find("#K0").has_value());
+}
+
+TEST(Precompile, AssignmentRulesImplementSemantics) {
+  // Execute the two lowered phases by brute force on a small population and
+  // check X := Y took effect exactly.
+  Program p;
+  p.vars = make_var_space();
+  const VarId x = p.vars->intern("X");
+  const VarId y = p.vars->intern("Y");
+  ProgramThread main;
+  main.name = "Main";
+  main.body = {assign(x, BoolExpr::var(y))};
+  p.threads.push_back(std::move(main));
+  const CodeTree t = precompile(p);
+  Rng rng(3);
+  std::vector<State> states = {var_bit(y), var_bit(x), var_bit(x) | var_bit(y),
+                               0};
+  for (int phase = 1; phase <= 2; ++phase) {
+    const auto* rules = t.leaf({phase});
+    // Saturate: apply every rule to every agent repeatedly.
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (auto& s : states) {
+        for (const auto& r : *rules) {
+          if (r.matches(s, 0)) {
+            const auto [ns, dummy] = r.apply(s, 0, rng);
+            (void)dummy;
+            s = ns;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(var_is_set(states[0], x));   // Y set -> X on
+  EXPECT_FALSE(var_is_set(states[1], x));  // Y unset -> X off
+  EXPECT_TRUE(var_is_set(states[2], x));
+  EXPECT_FALSE(var_is_set(states[3], x));
+}
+
+TEST(Precompile, IfExistsAddsEvaluationLeavesAndGuards) {
+  Program p;
+  p.vars = make_var_space();
+  const VarId c = p.vars->intern("C");
+  const VarId a = p.vars->intern("A");
+  const VarId b = p.vars->intern("B");
+  std::vector<Rule> then_rules = {make_rule(
+      BoolExpr::any(), BoolExpr::any(), BoolExpr::var(a), BoolExpr::any())};
+  std::vector<Rule> else_rules = {make_rule(
+      BoolExpr::any(), BoolExpr::any(), BoolExpr::var(b), BoolExpr::any())};
+  ProgramThread main;
+  main.name = "Main";
+  main.body = {if_exists(BoolExpr::var(c), {execute_ruleset(then_rules)},
+                         {execute_ruleset(else_rules)})};
+  p.threads.push_back(std::move(main));
+  const CodeTree t = precompile(p);
+  // Z := off (2 leaves) + epidemic (1) + merged branch (1) = 4 leaves.
+  EXPECT_EQ(t.width, 4);
+  const auto z = p.vars->find("#Z0");
+  ASSERT_TRUE(z.has_value());
+  // The merged leaf contains both branches' rules, gated on Z / ¬Z.
+  const auto* merged = t.leaf({4});
+  ASSERT_NE(merged, nullptr);
+  ASSERT_EQ(merged->size(), 2u);
+  const State with_z = var_bit(*z);
+  // then-rule fires only when both agents hold Z.
+  EXPECT_TRUE((*merged)[0].matches(with_z, with_z));
+  EXPECT_FALSE((*merged)[0].matches(0, 0));
+  EXPECT_FALSE((*merged)[0].matches(with_z, 0));
+  // else-rule fires only when neither agent holds Z.
+  EXPECT_TRUE((*merged)[1].matches(0, 0));
+  EXPECT_FALSE((*merged)[1].matches(with_z, with_z));
+}
+
+TEST(Precompile, EpidemicLeafSeedsAndSpreads) {
+  Program p;
+  p.vars = make_var_space();
+  const VarId c = p.vars->intern("C");
+  ProgramThread main;
+  main.name = "Main";
+  main.body = {if_exists(BoolExpr::var(c), {execute_ruleset({})})};
+  p.threads.push_back(std::move(main));
+  const CodeTree t = precompile(p);
+  const VarId z = *p.vars->find("#Z0");
+  const auto* epidemic = t.leaf({3});
+  ASSERT_NE(epidemic, nullptr);
+  ASSERT_EQ(epidemic->size(), 2u);
+  Rng rng(1);
+  // Seed: a C-holder infects the responder.
+  {
+    const auto [ni, nr] = (*epidemic)[0].apply(var_bit(c), 0, rng);
+    (void)ni;
+    EXPECT_TRUE(var_is_set(nr, z));
+  }
+  // Spread: a Z-holder infects the responder.
+  {
+    ASSERT_TRUE((*epidemic)[1].matches(var_bit(z), 0));
+    const auto [ni, nr] = (*epidemic)[1].apply(var_bit(z), 0, rng);
+    (void)ni;
+    EXPECT_TRUE(var_is_set(nr, z));
+  }
+}
+
+TEST(Precompile, NumLeaves) {
+  auto vars = make_var_space();
+  const Program p = make_majority_program(vars);
+  const CodeTree t = precompile(p);
+  EXPECT_EQ(t.num_leaves(), static_cast<std::size_t>(t.width) *
+                                static_cast<std::size_t>(t.width));
+}
+
+}  // namespace
+}  // namespace popproto

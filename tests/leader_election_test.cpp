@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lang/runtime.hpp"
+#include "protocols/leader_election.hpp"
+
+namespace popproto {
+namespace {
+
+class LeaderElectionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeaderElectionSweep, ElectsUniqueLeader) {
+  const std::size_t n = GetParam();
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 101 + n;
+  FrameworkRuntime rt(p, n, opts);
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      200);
+  ASSERT_TRUE(t.has_value());
+  // O(log n) good iterations suffice (Thm 3.1).
+  EXPECT_LE(rt.iterations(),
+            static_cast<std::size_t>(12.0 * std::log(static_cast<double>(n))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LeaderElectionSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384));
+
+TEST(LeaderElection, LeaderPersistsAfterConvergence) {
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 7;
+  FrameworkRuntime rt(p, 1024, opts);
+  ASSERT_TRUE(rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      200));
+  // The unique leader keeps re-electing itself in subsequent iterations
+  // (coin-failure keeps the set, a 1-element set halves to itself).
+  for (int i = 0; i < 30; ++i) {
+    rt.run_iteration();
+    ASSERT_EQ(leader_count(rt.population(), *vars), 1u);
+  }
+}
+
+TEST(LeaderElection, RecoversFromEmptyLeaderSet) {
+  auto vars = make_var_space();
+  Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 11;
+  FrameworkRuntime rt(p, 512, opts);
+  // Violate the initializer: nobody is a leader.
+  for (std::size_t i = 0; i < 512; ++i)
+    rt.population().set_state(
+        i, rt.population().state(i) & ~var_bit(*vars->find(kLeaderVar)));
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      200);
+  ASSERT_TRUE(t.has_value());
+}
+
+TEST(LeaderElection, IterationCountScalesLogarithmically) {
+  auto iterations_for = [](std::size_t n, std::uint64_t seed) {
+    auto vars = make_var_space();
+    const Program p = make_leader_election_program(vars);
+    RuntimeOptions opts;
+    opts.seed = seed;
+    FrameworkRuntime rt(p, n, opts);
+    rt.run_until(
+        [&](const AgentPopulation& pop) {
+          return leader_count(pop, *vars) == 1;
+        },
+        500);
+    return static_cast<double>(rt.iterations());
+  };
+  double small = 0, big = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    small += iterations_for(256, 100 + s);
+    big += iterations_for(65536, 200 + s);  // n^2
+  }
+  // Θ(log n): doubling the exponent should at most ~double iterations.
+  EXPECT_LT(big, 3.0 * small);
+}
+
+TEST(LeaderElection, SurvivesStartupChaos) {
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 13;
+  opts.startup_chaos_rounds = 100.0;
+  FrameworkRuntime rt(p, 1024, opts);
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      300);
+  ASSERT_TRUE(t.has_value());
+}
+
+TEST(LeaderElection, WhpVariantConvergesDespiteOccasionalBadIterations) {
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 17;
+  opts.bad_iteration_rate = 0.2;
+  FrameworkRuntime rt(p, 1024, opts);
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      500);
+  ASSERT_TRUE(t.has_value());
+}
+
+TEST(LeaderElection, RoundsAreQuadraticInLogN) {
+  // Thm 3.1: O(log^2 n) rounds overall (each iteration costs Θ(log n)).
+  auto vars = make_var_space();
+  const Program p = make_leader_election_program(vars);
+  RuntimeOptions opts;
+  opts.seed = 23;
+  const std::size_t n = 16384;
+  FrameworkRuntime rt(p, n, opts);
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) {
+        return leader_count(pop, *vars) == 1;
+      },
+      500);
+  ASSERT_TRUE(t.has_value());
+  const double ln2 = std::pow(std::log(static_cast<double>(n)), 2.0);
+  EXPECT_LT(*t, 40.0 * ln2);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/population.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  VarSpacePtr vars_ = make_var_space();
+  VarId a_ = vars_->intern("A");
+  VarId b_ = vars_->intern("B");
+};
+
+TEST_F(PopulationTest, UniformConstructor) {
+  AgentPopulation pop(10, var_bit(a_));
+  EXPECT_EQ(pop.size(), 10u);
+  EXPECT_EQ(pop.count_var(a_), 10u);
+  EXPECT_EQ(pop.count_var(b_), 0u);
+}
+
+TEST_F(PopulationTest, InitialCountsFromStates) {
+  AgentPopulation pop({var_bit(a_), var_bit(a_) | var_bit(b_), 0});
+  EXPECT_EQ(pop.count_var(a_), 2u);
+  EXPECT_EQ(pop.count_var(b_), 1u);
+}
+
+TEST_F(PopulationTest, SetStateMaintainsCounts) {
+  AgentPopulation pop(4, 0);
+  pop.set_state(0, var_bit(a_));
+  pop.set_state(1, var_bit(a_) | var_bit(b_));
+  EXPECT_EQ(pop.count_var(a_), 2u);
+  EXPECT_EQ(pop.count_var(b_), 1u);
+  pop.set_state(0, var_bit(b_));
+  EXPECT_EQ(pop.count_var(a_), 1u);
+  EXPECT_EQ(pop.count_var(b_), 2u);
+}
+
+TEST_F(PopulationTest, CountsSurviveRandomChurn) {
+  Rng rng(5);
+  AgentPopulation pop(50, 0);
+  std::uint64_t expect_a = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t agent = rng.below(50);
+    const State ns = rng.below(4);  // random over the two vars
+    const State old = pop.state(agent);
+    if (var_is_set(ns, a_) && !var_is_set(old, a_)) ++expect_a;
+    if (!var_is_set(ns, a_) && var_is_set(old, a_)) --expect_a;
+    pop.set_state(agent, ns);
+    ASSERT_EQ(pop.count_var(a_), expect_a);
+  }
+  std::uint64_t scan = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    if (var_is_set(pop.state(i), a_)) ++scan;
+  EXPECT_EQ(scan, pop.count_var(a_));
+}
+
+TEST_F(PopulationTest, CountMatchingScans) {
+  AgentPopulation pop({var_bit(a_), var_bit(a_) | var_bit(b_), var_bit(b_), 0});
+  EXPECT_EQ(pop.count_matching(BoolExpr::var(a_) && !BoolExpr::var(b_)), 1u);
+  EXPECT_EQ(pop.count_matching(BoolExpr::var(a_) || BoolExpr::var(b_)), 3u);
+  EXPECT_EQ(pop.count_matching(BoolExpr::any()), 4u);
+}
+
+TEST_F(PopulationTest, ExistsAndAll) {
+  AgentPopulation pop(
+      std::vector<State>{var_bit(a_), var_bit(a_) | var_bit(b_)});
+  EXPECT_TRUE(pop.exists(BoolExpr::var(b_)));
+  EXPECT_FALSE(pop.exists(!BoolExpr::var(a_)));
+  EXPECT_TRUE(pop.all(BoolExpr::var(a_)));
+  EXPECT_FALSE(pop.all(BoolExpr::var(b_)));
+}
+
+TEST_F(PopulationTest, RejectsTinyPopulations) {
+  EXPECT_DEATH(AgentPopulation(std::size_t{1}, State{0}), "at least 2");
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lang/runtime.hpp"
+
+namespace popproto {
+namespace {
+
+Program single_assign_program(VarSpacePtr vars, Stmt stmt) {
+  Program p;
+  p.vars = std::move(vars);
+  ProgramThread main;
+  main.name = "Main";
+  main.body.push_back(std::move(stmt));
+  p.threads.push_back(std::move(main));
+  return p;
+}
+
+TEST(Runtime, AssignmentAppliesPerAgent) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const VarId y = vars->intern("Y");
+  const Program p = single_assign_program(vars, assign(x, BoolExpr::var(y)));
+  std::vector<State> init(10, 0);
+  init[3] = var_bit(y);
+  init[7] = var_bit(y) | var_bit(x);
+  init[8] = var_bit(x);  // X set, Y unset: must be cleared
+  FrameworkRuntime rt(p, init, {});
+  rt.run_iteration();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(var_is_set(rt.population().state(i), x),
+              var_is_set(rt.population().state(i), y))
+        << "agent " << i;
+  }
+}
+
+TEST(Runtime, CoinAssignmentIsFairPerAgent) {
+  auto vars = make_var_space();
+  const VarId f = vars->intern("F");
+  const Program p = single_assign_program(vars, assign_coin(f));
+  RuntimeOptions opts;
+  opts.seed = 5;
+  FrameworkRuntime rt(p, 10000, opts);
+  rt.run_iteration();
+  const double frac =
+      static_cast<double>(rt.population().count_var(f)) / 10000.0;
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Runtime, IfExistsTakesCorrectBranch) {
+  auto vars = make_var_space();
+  const VarId c = vars->intern("C");
+  const VarId t = vars->intern("T");
+  const VarId e = vars->intern("E");
+  const Program p = single_assign_program(
+      vars, if_exists(BoolExpr::var(c),
+                      {assign(t, BoolExpr::constant(true))},
+                      {assign(e, BoolExpr::constant(true))}));
+  {
+    std::vector<State> init(10, 0);
+    init[0] = var_bit(c);
+    FrameworkRuntime rt(p, init, {});
+    rt.run_iteration();
+    EXPECT_EQ(rt.population().count_var(t), 10u);
+    EXPECT_EQ(rt.population().count_var(e), 0u);
+  }
+  {
+    FrameworkRuntime rt(p, 10, {});
+    rt.run_iteration();
+    EXPECT_EQ(rt.population().count_var(t), 0u);
+    EXPECT_EQ(rt.population().count_var(e), 10u);
+  }
+}
+
+TEST(Runtime, EpidemicIfExistsAgreesWithIdeal) {
+  auto vars = make_var_space();
+  const VarId c = vars->intern("C");
+  const VarId t = vars->intern("T");
+  const Program p = single_assign_program(
+      vars,
+      if_exists(BoolExpr::var(c), {assign(t, BoolExpr::constant(true))}));
+  RuntimeOptions opts;
+  opts.epidemic_if_exists = true;
+  opts.seed = 9;
+  {
+    std::vector<State> init(500, 0);
+    init[0] = var_bit(c);
+    FrameworkRuntime rt(p, init, opts);
+    rt.run_iteration();
+    EXPECT_EQ(rt.population().count_var(t), 500u);
+  }
+  {
+    FrameworkRuntime rt(p, 500, opts);
+    rt.run_iteration();
+    EXPECT_EQ(rt.population().count_var(t), 0u);
+  }
+}
+
+TEST(Runtime, ExecuteRulesetRunsPrescribedRounds) {
+  auto vars = make_var_space();
+  const VarId i = vars->intern("I");
+  const Program p = single_assign_program(
+      vars, execute_ruleset({make_rule(BoolExpr::var(i), BoolExpr::any(),
+                                       BoolExpr::any(), BoolExpr::var(i))}));
+  std::vector<State> init(2000, 0);
+  init[0] = var_bit(i);
+  RuntimeOptions opts;
+  opts.c = 3.0;
+  FrameworkRuntime rt(p, init, opts);
+  rt.run_iteration();
+  // c ln n ≈ 22.8 rounds: a one-way epidemic saturates w.h.p.
+  EXPECT_EQ(rt.population().count_var(i), 2000u);
+  EXPECT_NEAR(rt.rounds(), 3.0 * std::log(2000.0), 1.0);
+}
+
+TEST(Runtime, RepeatLogRunsCeilCLnNTimes) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  // A loop whose body flips nothing but costs one ruleset execution; count
+  // iterations through the rounds charge.
+  const Program p =
+      single_assign_program(vars, repeat_log({execute_ruleset({})}));
+  RuntimeOptions opts;
+  opts.c = 2.0;
+  FrameworkRuntime rt(p, 100, opts);
+  rt.run_iteration();
+  const double per_exec = 2.0 * std::log(100.0);
+  const auto reps = static_cast<double>(
+      static_cast<std::size_t>(std::ceil(per_exec)));
+  EXPECT_NEAR(rt.rounds(), reps * per_exec, 1e-6);
+  (void)x;
+}
+
+TEST(Runtime, BackgroundThreadsRunDuringStatements) {
+  auto vars = make_var_space();
+  const VarId i = vars->intern("I");
+  const VarId x = vars->intern("X");
+  Program p;
+  p.vars = vars;
+  ProgramThread main;
+  main.name = "Main";
+  // Main only performs an assignment; the background epidemic must still
+  // make progress during its charge window.
+  main.body = {assign(x, BoolExpr::constant(true)),
+               assign(x, BoolExpr::constant(false)),
+               assign(x, BoolExpr::constant(true))};
+  p.threads.push_back(std::move(main));
+  ProgramThread bg;
+  bg.name = "Epidemic";
+  bg.background_rules = {make_rule(BoolExpr::var(i), BoolExpr::any(),
+                                   BoolExpr::any(), BoolExpr::var(i))};
+  p.threads.push_back(std::move(bg));
+  std::vector<State> init(300, 0);
+  init[0] = var_bit(i);
+  FrameworkRuntime rt(p, init, {});
+  rt.run_iteration();
+  EXPECT_GT(rt.population().count_var(i), 250u);
+}
+
+TEST(Runtime, StartupChaosRespectsGuaranteedBehavior) {
+  // Variables may only change through program operations: a variable no
+  // rule or assignment ever writes must survive the chaos phase untouched.
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const VarId untouched = vars->intern("U");
+  const Program p = single_assign_program(
+      vars, assign(x, BoolExpr::constant(true)));
+  RuntimeOptions opts;
+  opts.startup_chaos_rounds = 50.0;
+  opts.seed = 13;
+  std::vector<State> init(200, var_bit(untouched));
+  FrameworkRuntime rt(p, init, opts);
+  rt.run_iteration();
+  EXPECT_EQ(rt.population().count_var(untouched), 200u);
+}
+
+TEST(Runtime, PermanentlyFalseConditionNeverEntersBranch) {
+  // Def. 2.1's second guarantee, under heavy failure injection: with the
+  // condition set empty from the start, the then-branch must never execute.
+  auto vars = make_var_space();
+  const VarId c = vars->intern("C");
+  const VarId t = vars->intern("T");
+  const Program p = single_assign_program(
+      vars,
+      if_exists(BoolExpr::var(c), {assign(t, BoolExpr::constant(true))}));
+  RuntimeOptions opts;
+  opts.bad_iteration_rate = 0.9;
+  opts.startup_chaos_rounds = 20.0;
+  opts.seed = 17;
+  FrameworkRuntime rt(p, 100, opts);
+  for (int i = 0; i < 50; ++i) rt.run_iteration();
+  EXPECT_EQ(rt.population().count_var(t), 0u);
+}
+
+TEST(Runtime, BadIterationsMakePartialAssignments) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const Program p =
+      single_assign_program(vars, assign(x, BoolExpr::constant(true)));
+  RuntimeOptions opts;
+  opts.bad_iteration_rate = 1.0;
+  opts.seed = 19;
+  FrameworkRuntime rt(p, 1000, opts);
+  rt.run_iteration();
+  const auto count = rt.population().count_var(x);
+  // Adversarial execution may skip agents (or abort before the statement),
+  // but may only set X through the assignment.
+  EXPECT_LT(count, 1000u);
+}
+
+TEST(Runtime, InitializersApplied) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  Program p = single_assign_program(vars, execute_ruleset({}));
+  p.initializers = {{x, true}};
+  FrameworkRuntime rt(p, 10, {});
+  EXPECT_EQ(rt.population().count_var(x), 10u);
+}
+
+TEST(Runtime, RunUntilStopsAtPredicate) {
+  auto vars = make_var_space();
+  const VarId x = vars->intern("X");
+  const Program p =
+      single_assign_program(vars, assign(x, BoolExpr::constant(true)));
+  FrameworkRuntime rt(p, 50, {});
+  const auto t = rt.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(x) == 50; }, 10);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(rt.iterations(), 1u);
+}
+
+}  // namespace
+}  // namespace popproto
