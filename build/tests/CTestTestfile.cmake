@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_test[1]_include.cmake")
+include("/root/repo/build/tests/population_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/count_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/oscillator_test[1]_include.cmake")
+include("/root/repo/build/tests/phase_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/x_control_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/leader_election_test[1]_include.cmake")
+include("/root/repo/build/tests/majority_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/plurality_test[1]_include.cmake")
+include("/root/repo/build/tests/semilinear_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/compiled_test[1]_include.cmake")
+include("/root/repo/build/tests/derandomize_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
