@@ -216,11 +216,10 @@ bench/CMakeFiles/bench_f16_compiled.dir/bench_f16_compiled.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/clocks/hierarchy.hpp \
  /root/repo/src/clocks/phase_clock.hpp \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/clocks/x_control.hpp /root/repo/src/core/population.hpp \
- /root/repo/src/lang/precompile.hpp /root/repo/src/lang/ast.hpp \
- /root/repo/src/protocols/leader_election.hpp
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/clocks/x_control.hpp /root/repo/src/lang/precompile.hpp \
+ /root/repo/src/lang/ast.hpp /root/repo/src/protocols/leader_election.hpp

@@ -199,9 +199,8 @@ bench/CMakeFiles/bench_t11_baselines.dir/bench_t11_baselines.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/support/fitting.hpp /root/repo/src/support/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/support/table.hpp \
- /root/repo/src/core/count_engine.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/core/count_engine.hpp /root/repo/src/core/injection.hpp \
+ /root/repo/src/core/expr.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -241,6 +240,7 @@ bench/CMakeFiles/bench_t11_baselines.dir/bench_t11_baselines.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/state.hpp \
  /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
  /root/repo/src/lang/runtime.hpp /root/repo/src/core/population.hpp \
  /root/repo/src/lang/ast.hpp /root/repo/src/protocols/baselines.hpp \
  /root/repo/src/protocols/majority.hpp

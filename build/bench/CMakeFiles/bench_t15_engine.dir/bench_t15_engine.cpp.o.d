@@ -214,14 +214,14 @@ bench/CMakeFiles/bench_t15_engine.dir/bench_t15_engine.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/clocks/phase_clock.hpp /usr/include/c++/12/array \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
  /root/repo/src/clocks/x_control.hpp /root/repo/src/core/count_engine.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /root/repo/src/core/engine.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/injection.hpp /root/repo/src/core/engine.hpp \
  /root/repo/src/core/scheduler.hpp /root/repo/src/protocols/baselines.hpp

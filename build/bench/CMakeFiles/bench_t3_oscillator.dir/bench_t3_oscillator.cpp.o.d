@@ -199,9 +199,8 @@ bench/CMakeFiles/bench_t3_oscillator.dir/bench_t3_oscillator.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/support/fitting.hpp /root/repo/src/support/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/support/table.hpp \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -239,5 +238,6 @@ bench/CMakeFiles/bench_t3_oscillator.dir/bench_t3_oscillator.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/state.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -241,4 +241,4 @@ bench/CMakeFiles/bench_t6_klevel_signal.dir/bench_t6_klevel_signal.cpp.o: \
  /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
  /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/count_engine.hpp
+ /root/repo/src/core/count_engine.hpp /root/repo/src/core/injection.hpp

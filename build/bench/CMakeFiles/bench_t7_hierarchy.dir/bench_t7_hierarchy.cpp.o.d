@@ -238,9 +238,9 @@ bench/CMakeFiles/bench_t7_hierarchy.dir/bench_t7_hierarchy.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/clocks/phase_clock.hpp \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/clocks/x_control.hpp

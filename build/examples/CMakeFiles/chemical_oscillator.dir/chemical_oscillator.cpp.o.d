@@ -123,9 +123,8 @@ examples/CMakeFiles/chemical_oscillator.dir/chemical_oscillator.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/clocks/oscillator.hpp \
- /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
- /root/repo/src/core/expr.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/core/population.hpp /root/repo/src/core/expr.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -207,5 +206,6 @@ examples/CMakeFiles/chemical_oscillator.dir/chemical_oscillator.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/check.hpp \
+ /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

@@ -113,11 +113,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/population.hpp /usr/include/c++/12/cstdint \
+ /root/repo/src/core/injection.hpp /root/repo/src/core/expr.hpp \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/core/expr.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -210,11 +211,11 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/state.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/scheduler.hpp /root/repo/src/lang/compile.hpp \
- /root/repo/src/clocks/hierarchy.hpp \
+ /root/repo/src/core/population.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/lang/compile.hpp /root/repo/src/clocks/hierarchy.hpp \
  /root/repo/src/clocks/phase_clock.hpp \
  /root/repo/src/clocks/oscillator.hpp /root/repo/src/clocks/x_control.hpp \
  /root/repo/src/lang/precompile.hpp /root/repo/src/lang/ast.hpp \

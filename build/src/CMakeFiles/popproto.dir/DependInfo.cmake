@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/popproto.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/recovery.cpp" "src/CMakeFiles/popproto.dir/analysis/recovery.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/recovery.cpp.o.d"
   "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/popproto.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/report.cpp.o.d"
   "/root/repo/src/clocks/hierarchy.cpp" "src/CMakeFiles/popproto.dir/clocks/hierarchy.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/hierarchy.cpp.o.d"
   "/root/repo/src/clocks/oscillator.cpp" "src/CMakeFiles/popproto.dir/clocks/oscillator.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/oscillator.cpp.o.d"
@@ -22,6 +23,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/popproto.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/protocol.cpp.o.d"
   "/root/repo/src/core/rule.cpp" "src/CMakeFiles/popproto.dir/core/rule.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/rule.cpp.o.d"
   "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/popproto.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/faults/fault_plan.cpp" "src/CMakeFiles/popproto.dir/faults/fault_plan.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/faults/fault_plan.cpp.o.d"
+  "/root/repo/src/faults/injector.cpp" "src/CMakeFiles/popproto.dir/faults/injector.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/faults/injector.cpp.o.d"
   "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/popproto.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/ast.cpp.o.d"
   "/root/repo/src/lang/compile.cpp" "src/CMakeFiles/popproto.dir/lang/compile.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/compile.cpp.o.d"
   "/root/repo/src/lang/derandomize.cpp" "src/CMakeFiles/popproto.dir/lang/derandomize.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/derandomize.cpp.o.d"

@@ -200,14 +200,14 @@ src/CMakeFiles/popproto.dir/clocks/hierarchy.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/clocks/phase_clock.hpp /usr/include/c++/12/array \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/check.hpp \
+ /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/clocks/x_control.hpp

@@ -103,11 +103,12 @@ src/CMakeFiles/popproto.dir/core/engine.cpp.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/population.hpp /usr/include/c++/12/cstdint \
+ /root/repo/src/core/injection.hpp /root/repo/src/core/expr.hpp \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/core/expr.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -210,10 +211,13 @@ src/CMakeFiles/popproto.dir/core/engine.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/state.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/cmath \
+ /root/repo/src/core/population.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/core/scheduler.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -235,4 +239,6 @@ src/CMakeFiles/popproto.dir/core/engine.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h

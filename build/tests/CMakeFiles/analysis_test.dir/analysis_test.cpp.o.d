@@ -321,8 +321,8 @@ tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o: \
  /root/repo/src/analysis/experiment.hpp \
  /root/repo/src/support/fitting.hpp /root/repo/src/support/stats.hpp \
  /root/repo/src/support/table.hpp /root/repo/src/core/engine.hpp \
- /root/repo/src/core/population.hpp /root/repo/src/core/expr.hpp \
+ /root/repo/src/core/injection.hpp /root/repo/src/core/expr.hpp \
  /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/core/population.hpp \
  /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/core/scheduler.hpp \
- /root/repo/src/core/metrics.hpp
+ /root/repo/src/core/scheduler.hpp /root/repo/src/core/metrics.hpp

@@ -295,9 +295,9 @@ tests/CMakeFiles/compiled_test.dir/compiled_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/lang/compile.hpp /root/repo/src/clocks/hierarchy.hpp \
  /root/repo/src/clocks/phase_clock.hpp \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/clocks/x_control.hpp \
- /root/repo/src/core/population.hpp /root/repo/src/lang/precompile.hpp \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/clocks/x_control.hpp /root/repo/src/lang/precompile.hpp \
  /root/repo/src/lang/ast.hpp /root/repo/src/protocols/leader_election.hpp

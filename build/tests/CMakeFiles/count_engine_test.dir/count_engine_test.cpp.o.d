@@ -315,9 +315,9 @@ tests/CMakeFiles/count_engine_test.dir/count_engine_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/count_engine.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/core/engine.hpp \
- /root/repo/src/core/population.hpp /root/repo/src/core/scheduler.hpp \
- /root/repo/src/protocols/baselines.hpp
+ /root/repo/src/core/count_engine.hpp /root/repo/src/core/injection.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/core/protocol.hpp /root/repo/src/core/rule.hpp \
+ /root/repo/src/core/engine.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/scheduler.hpp /root/repo/src/protocols/baselines.hpp

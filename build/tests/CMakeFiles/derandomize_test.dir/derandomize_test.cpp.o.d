@@ -293,10 +293,11 @@ tests/CMakeFiles/derandomize_test.dir/derandomize_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/engine.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/engine.hpp /root/repo/src/core/injection.hpp \
  /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/core/scheduler.hpp /root/repo/src/lang/derandomize.hpp \
- /root/repo/src/lang/ast.hpp /root/repo/src/lang/runtime.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/core/population.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/lang/derandomize.hpp /root/repo/src/lang/ast.hpp \
+ /root/repo/src/lang/runtime.hpp \
  /root/repo/src/protocols/leader_election.hpp

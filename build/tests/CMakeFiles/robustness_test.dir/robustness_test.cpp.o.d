@@ -317,10 +317,10 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/clocks/hierarchy.hpp \
  /root/repo/src/clocks/phase_clock.hpp \
- /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/protocol.hpp \
- /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
- /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/clocks/x_control.hpp \
- /root/repo/src/lang/runtime.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/clocks/oscillator.hpp /root/repo/src/core/population.hpp \
+ /root/repo/src/core/expr.hpp /root/repo/src/core/state.hpp \
+ /root/repo/src/support/check.hpp /root/repo/src/core/protocol.hpp \
+ /root/repo/src/core/rule.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/clocks/x_control.hpp /root/repo/src/lang/runtime.hpp \
  /root/repo/src/lang/ast.hpp /root/repo/src/protocols/leader_election.hpp \
  /root/repo/src/protocols/majority.hpp

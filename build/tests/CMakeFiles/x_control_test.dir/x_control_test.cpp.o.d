@@ -318,4 +318,5 @@ tests/CMakeFiles/x_control_test.dir/x_control_test.cpp.o: \
  /root/repo/src/clocks/x_control.hpp /root/repo/src/core/protocol.hpp \
  /root/repo/src/core/rule.hpp /root/repo/src/core/expr.hpp \
  /root/repo/src/core/state.hpp /root/repo/src/support/check.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/core/count_engine.hpp
+ /root/repo/src/support/rng.hpp /root/repo/src/core/count_engine.hpp \
+ /root/repo/src/core/injection.hpp

@@ -27,3 +27,4 @@ include("/root/repo/build/tests/derandomize_test[1]_include.cmake")
 include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")

@@ -1,0 +1,60 @@
+#include "analysis/recovery.hpp"
+
+namespace popproto {
+
+RecoveryProbe::RecoveryProbe(double stable_for) : stable_for_(stable_for) {}
+
+void RecoveryProbe::on_fault(double round) {
+  events_.push_back(RecoveryEvent{round, std::nullopt, std::nullopt});
+  // The perturbation invalidates any healthy streak in progress: recovery
+  // is measured from post-fault observations only.
+  healthy_since_.reset();
+}
+
+void RecoveryProbe::observe(double round, bool healthy) {
+  // Faults may be announced ahead of time (a FaultPlan's scheduled burst).
+  // Observations before the pending fault's round say nothing about
+  // recovery: drop them and restart the healthy streak, so restabilization
+  // is measured from post-fault observations only.
+  if (!events_.empty() && !events_.back().recovered() &&
+      round < events_.back().fault_round) {
+    healthy_since_.reset();
+    return;
+  }
+  if (!healthy) {
+    healthy_since_.reset();
+  } else if (!healthy_since_) {
+    healthy_since_ = round;
+  }
+  if (events_.empty()) return;
+  RecoveryEvent& e = events_.back();
+  if (e.recovered()) return;
+  if (!healthy && !e.violated_round && round >= e.fault_round)
+    e.violated_round = round;
+  if (healthy_since_ && round - *healthy_since_ >= stable_for_) {
+    // The stretch start is clamped to the fault time: health inherited from
+    // before the burst cannot predate it.
+    e.recovered_round = std::max(*healthy_since_, e.fault_round);
+  }
+}
+
+std::vector<double> RecoveryProbe::recovery_times() const {
+  std::vector<double> out;
+  for (const auto& e : events_)
+    if (e.recovered()) out.push_back(e.recovery_time());
+  return out;
+}
+
+std::vector<double> RecoveryProbe::violation_delays() const {
+  std::vector<double> out;
+  for (const auto& e : events_)
+    if (e.violated_round) out.push_back(*e.violated_round - e.fault_round);
+  return out;
+}
+
+std::optional<double> RecoveryProbe::last_recovery_time() const {
+  if (events_.empty() || !events_.back().recovered()) return std::nullopt;
+  return events_.back().recovery_time();
+}
+
+}  // namespace popproto

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/count_engine.hpp"
 #include "support/check.hpp"
 
 namespace popproto {
@@ -70,6 +71,52 @@ Protocol make_oscillator_protocol(VarSpacePtr vars,
   Protocol proto("oscillator", std::move(vars));
   proto.add_thread("Oscillator", std::move(rules));
   return proto;
+}
+
+State oscillator_state(int species, int level, const VarSpace& vars) {
+  POPPROTO_CHECK(species >= 0 && species < 3 && (level == 0 || level == 1));
+  const auto b0 = vars.find(kOscBit0);
+  const auto b1 = vars.find(kOscBit1);
+  const auto lvl = vars.find(kOscLvl);
+  POPPROTO_CHECK(b0 && b1 && lvl);
+  State s = 0;
+  if (species & 1) s |= var_bit(*b0);
+  if (species & 2) s |= var_bit(*b1);
+  if (level == 1) s |= var_bit(*lvl);
+  return s;
+}
+
+std::vector<State> oscillator_species_states(const VarSpace& vars) {
+  std::vector<State> out;
+  for (int i = 0; i < 3; ++i)
+    for (int l = 0; l < 2; ++l) out.push_back(oscillator_state(i, l, vars));
+  return out;
+}
+
+std::array<std::uint64_t, 3> oscillator_species_counts(
+    const AgentPopulation& pop, const VarSpace& vars) {
+  std::array<std::uint64_t, 3> counts{};
+  for (const State s : pop.states()) {
+    const int sp = oscillator_species_of(s, vars);
+    if (sp >= 0) ++counts[static_cast<std::size_t>(sp)];
+  }
+  return counts;
+}
+
+std::array<std::uint64_t, 3> oscillator_species_counts(const CountEngine& eng,
+                                                       const VarSpace& vars) {
+  std::array<std::uint64_t, 3> counts{};
+  for (const auto& [s, c] : eng.species()) {
+    const int sp = oscillator_species_of(s, vars);
+    if (sp >= 0) counts[static_cast<std::size_t>(sp)] += c;
+  }
+  return counts;
+}
+
+std::uint64_t oscillator_min_species(const CountEngine& eng,
+                                     const VarSpace& vars) {
+  const auto c = oscillator_species_counts(eng, vars);
+  return std::min({c[0], c[1], c[2]});
 }
 
 int oscillator_species_of(State s, const VarSpace& vars) {

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/population.hpp"
 #include "core/protocol.hpp"
 #include "support/rng.hpp"
 
@@ -61,6 +62,26 @@ Protocol make_oscillator_protocol(VarSpacePtr vars,
 
 /// Species index (0..2) held in a bitmask state, or -1 for a control agent.
 int oscillator_species_of(State s, const VarSpace& vars);
+
+/// The bitmask state of species i (0..2) at level l (0 = +, 1 = ++).
+State oscillator_state(int species, int level, const VarSpace& vars);
+
+/// The six non-control oscillator states, species-major ({A1+, A1++, A2+,
+/// ...}); the corruption palette fault experiments deal victims across.
+std::vector<State> oscillator_species_states(const VarSpace& vars);
+
+class CountEngine;  // core/count_engine.hpp
+
+/// Per-species abundances (summed over levels) — the oscillator-coherence
+/// healthy predicates ("is some species suppressed?") read these.
+std::array<std::uint64_t, 3> oscillator_species_counts(
+    const AgentPopulation& pop, const VarSpace& vars);
+std::array<std::uint64_t, 3> oscillator_species_counts(const CountEngine& eng,
+                                                       const VarSpace& vars);
+
+/// Smallest per-species abundance — the paper's "dips << n" observable.
+std::uint64_t oscillator_min_species(const CountEngine& eng,
+                                     const VarSpace& vars);
 
 /// One agent's oscillator component, used by the typed simulators and by
 /// the clock machinery (clocks/phase_clock.hpp, clocks/hierarchy.hpp).

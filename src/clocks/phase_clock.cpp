@@ -1,6 +1,7 @@
 #include "clocks/phase_clock.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "support/check.hpp"
@@ -107,12 +108,47 @@ void PhaseClockSim::run_rounds(double rounds_to_run) {
   while (interactions_ < target) step();
 }
 
-int PhaseClockSim::digit_spread() const {
-  // Digits live on a cycle of length m; the spread is the arc length of the
-  // smallest arc containing every occupied digit.
+std::uint64_t PhaseClockSim::scramble(double fraction, Rng& rng,
+                                      int max_digit_offset) {
+  POPPROTO_CHECK(fraction >= 0.0 && fraction <= 1.0);
   const int m = params_.module;
-  std::vector<bool> occupied(static_cast<std::size_t>(m), false);
-  for (const auto& ag : agents_) occupied[ag.digit] = true;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(n_)));
+  // Partial Fisher-Yates over agent indices: k distinct victims.
+  std::vector<std::size_t> pool(n_);
+  for (std::size_t i = 0; i < n_; ++i) pool[i] = i;
+  for (std::size_t j = 0; j < k; ++j) {
+    std::swap(pool[j], pool[j + rng.below(pool.size() - j)]);
+    ClockAgent& ag = agents_[pool[j]];
+    if (!is_x(pool[j])) {
+      --species_counts_[ag.osc.species];
+      ag.osc.species = static_cast<std::uint8_t>(rng.below(3));
+      ag.osc.strong = rng.chance(0.5);
+      ++species_counts_[ag.osc.species];
+    }
+    ag.believed = static_cast<std::uint8_t>(rng.below(3));
+    ag.streak = static_cast<std::uint8_t>(
+        rng.below(static_cast<std::uint64_t>(params_.believer_k)));
+    if (max_digit_offset < 0) {
+      ag.digit = static_cast<std::uint8_t>(rng.below(
+          static_cast<std::uint64_t>(m)));
+    } else if (max_digit_offset > 0) {
+      const int span = 2 * max_digit_offset + 1;
+      const int offset = static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(span))) -
+                         max_digit_offset;
+      ag.digit = static_cast<std::uint8_t>((ag.digit + offset + m) % m);
+    }
+  }
+  return k;
+}
+
+namespace {
+
+// Arc length of the smallest circular arc (cycle length = occupied.size())
+// containing every occupied position.
+int arc_spread(const std::vector<bool>& occupied) {
+  const int m = static_cast<int>(occupied.size());
   int longest_gap = 0;
   int run = 0;
   for (int pass = 0; pass < 2 * m; ++pass) {
@@ -125,6 +161,22 @@ int PhaseClockSim::digit_spread() const {
   }
   const int spread = m - longest_gap - 1;
   return spread > 0 ? spread : 0;
+}
+
+}  // namespace
+
+int PhaseClockSim::digit_spread() const {
+  std::vector<bool> occupied(static_cast<std::size_t>(params_.module), false);
+  for (const auto& ag : agents_) occupied[ag.digit] = true;
+  return arc_spread(occupied);
+}
+
+int PhaseClockSim::composite_spread() const {
+  std::vector<bool> occupied(static_cast<std::size_t>(3 * params_.module),
+                             false);
+  for (const auto& ag : agents_)
+    occupied[static_cast<std::size_t>(composite_phase(ag))] = true;
+  return arc_spread(occupied);
 }
 
 int circular_distance(int a, int b, int m) {

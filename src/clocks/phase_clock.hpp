@@ -107,6 +107,13 @@ class PhaseClockSim {
   /// spread; 0 = perfectly synchronized, 1 = the tolerated adjacent split).
   int digit_spread() const;
 
+  /// Same spread measure on the composite (digit, believed) cycle of length
+  /// 3m. In steady operation the population moves as a tight wave with
+  /// composite spread <= 1; believer corruption widens it without touching
+  /// digit_spread, so this is the healthy predicate of the fault
+  /// experiments ("clock phase coherence").
+  int composite_spread() const;
+
   /// Average number of digit ticks an agent has experienced.
   double mean_ticks() const {
     return static_cast<double>(total_ticks_) / static_cast<double>(n_);
@@ -115,6 +122,19 @@ class PhaseClockSim {
   /// Round timestamps of one fixed agent's digit ticks (tick-interval
   /// statistics). The observed agent is the last one (never in the X set).
   const std::vector<double>& observed_tick_times() const { return tick_times_; }
+
+  /// Fault burst: randomize the clock state (species, level, believed,
+  /// streak, digit) of ceil(fraction * n) agents chosen uniformly without
+  /// replacement, drawing fresh values from `rng`. Control agents keep their
+  /// X role but get scrambled believers/digits. Returns the number hit.
+  ///
+  /// `max_digit_offset` bounds the digit perturbation: each victim's digit is
+  /// shifted by a uniform offset in [-max, +max] (mod m). Pass -1 for a full
+  /// uniform digit re-draw — note that uniform digit scrambles push the
+  /// population *outside* the adoption rule's basin of attraction: with every
+  /// digit occupied the circular pull-forward order frustrates cyclically and
+  /// the spread never collapses (see EXPERIMENTS.md, fault experiments).
+  std::uint64_t scramble(double fraction, Rng& rng, int max_digit_offset = -1);
 
  private:
   std::size_t n_;

@@ -7,7 +7,6 @@
 namespace popproto {
 
 namespace {
-constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
 constexpr std::uint64_t kAutoWindow = 512;
 constexpr double kSwitchToSkipBelow = 0.08;
 constexpr double kSwitchToDirectAbove = 0.25;
@@ -24,6 +23,25 @@ CountEngine::CountEngine(const Protocol& protocol,
   for (const auto& [s, c] : initial) add_count(s, c);
   POPPROTO_CHECK_MSG(n_ >= 2, "population needs at least 2 agents");
   use_skip_ = (mode == CountEngineMode::kSkip);
+}
+
+void CountEngine::set_injection_hook(InjectionHook hook) {
+  injection_ = std::move(hook);
+  last_injection_round_ = std::floor(time_);
+}
+
+void CountEngine::set_scheduler_bias(std::optional<SchedulerBias> bias) {
+  bias_ = std::move(bias);
+}
+
+bool CountEngine::skip_allowed() const { return !bias_.has_value(); }
+
+void CountEngine::maybe_fire_injection() {
+  if (!injection_.on_round) return;
+  while (last_injection_round_ + 1.0 <= time_) {
+    last_injection_round_ += 1.0;
+    injection_.on_round(last_injection_round_);
+  }
 }
 
 void CountEngine::add_count(State s, std::uint64_t delta) {
@@ -73,6 +91,103 @@ std::size_t CountEngine::sample_species(std::uint64_t exclude_one_of) {
   return 0;
 }
 
+std::size_t CountEngine::sample_species_with(Rng& rng) const {
+  std::uint64_t r = rng.below(n_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (r < counts_[i]) return i;
+    r -= counts_[i];
+  }
+  POPPROTO_CHECK_MSG(false, "species sampling fell through");
+  return 0;
+}
+
+std::uint64_t CountEngine::crash_random(std::uint64_t k, Rng& rng) {
+  std::uint64_t moved = 0;
+  while (moved < k && n_ > 2) {
+    const std::size_t i = sample_species_with(rng);
+    const State s = states_[i];
+    remove_count(i, 1);
+    auto it = std::find_if(crashed_.begin(), crashed_.end(),
+                           [&](const auto& p) { return p.first == s; });
+    if (it == crashed_.end()) {
+      crashed_.emplace_back(s, 1);
+    } else {
+      ++it->second;
+    }
+    ++crashed_n_;
+    ++moved;
+  }
+  return moved;
+}
+
+std::uint64_t CountEngine::rejoin_random(std::uint64_t k, Rng& rng) {
+  std::uint64_t moved = 0;
+  while (moved < k && crashed_n_ > 0) {
+    std::uint64_t r = rng.below(crashed_n_);
+    for (auto& [s, c] : crashed_) {
+      if (r < c) {
+        --c;
+        --crashed_n_;
+        add_count(s, 1);
+        break;
+      }
+      r -= c;
+    }
+    ++moved;
+  }
+  if (moved > 0) silent_ = false;  // stale state may re-enable rules
+  return moved;
+}
+
+std::uint64_t CountEngine::rejoin_all() {
+  const std::uint64_t moved = crashed_n_;
+  for (auto& [s, c] : crashed_) {
+    add_count(s, c);
+    c = 0;
+  }
+  crashed_n_ = 0;
+  crashed_.clear();
+  if (moved > 0) silent_ = false;
+  return moved;
+}
+
+std::uint64_t CountEngine::mutate_random_agents(
+    std::uint64_t k, Rng& rng,
+    const std::function<State(State old_state, std::uint64_t j)>& f) {
+  k = std::min(k, n_);
+  // Draw k distinct agents without replacement from the current counts
+  // (exact multivariate hypergeometric), then apply all rewrites.
+  std::vector<std::uint64_t> pool = counts_;
+  std::uint64_t pool_total = n_;
+  std::vector<std::uint64_t> drawn(counts_.size(), 0);
+  for (std::uint64_t j = 0; j < k; ++j) {
+    std::uint64_t r = rng.below(pool_total);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (r < pool[i]) {
+        --pool[i];
+        ++drawn[i];
+        break;
+      }
+      r -= pool[i];
+    }
+    --pool_total;
+  }
+  std::uint64_t j = 0, rewritten = 0;
+  const std::size_t num_species = drawn.size();  // add_count may append
+  for (std::size_t i = 0; i < num_species; ++i) {
+    const State old_state = states_[i];
+    for (std::uint64_t d = 0; d < drawn[i]; ++d, ++j) {
+      const State ns = f(old_state, j);
+      if (ns == old_state) continue;
+      remove_count(i, 1);
+      add_count(ns, 1);
+      ++rewritten;
+    }
+  }
+  if (rewritten > 0) silent_ = false;
+  return k;
+}
+
 void CountEngine::apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
                              bool conditioned_on_change) {
   const State sa = states_[ia];
@@ -89,10 +204,19 @@ void CountEngine::apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
 }
 
 void CountEngine::direct_step() {
-  const std::size_t ia = sample_species();
+  std::size_t ia = sample_species();
+  if (bias_ && bias_->epsilon > 0.0 && rng_.chance(bias_->epsilon)) {
+    for (int t = 0; t < bias_->tries; ++t) {
+      ia = sample_species();
+      if (bias_->prefer.matches(states_[ia])) break;
+    }
+  }
   const std::size_t ib = sample_species(/*exclude_one_of=*/ia);
   ++interactions_;
   ++window_steps_;
+  time_ += 1.0 / static_cast<double>(n_);
+
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
 
   // Rule choice: weighted by thread/ruleset structure; residual mass (empty
   // thread slots) is a no-op.
@@ -147,6 +271,7 @@ bool CountEngine::skip_step() {
   }
   const std::uint64_t skip = rng_.geometric(std::min(events_total_weight_, 1.0));
   interactions_ += skip + 1;
+  time_ += static_cast<double>(skip + 1) / static_cast<double>(n_);
 
   double u = rng_.uniform() * events_total_weight_;
   const Event* chosen = &events_.back();
@@ -157,6 +282,11 @@ bool CountEngine::skip_step() {
     }
     u -= e.weight;
   }
+  // Interaction dropout thins the effective process: a dropped effective
+  // interaction is a no-op, and by memorylessness the retry chain composes
+  // to the exact Geometric(w * (1 - p)) law.
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_))
+    return true;
   apply_pair(*chosen->rule, chosen->species_a, chosen->species_b,
              /*conditioned_on_change=*/true);
   return true;
@@ -175,37 +305,52 @@ bool CountEngine::step() {
       window_steps_ = window_effective_ = 0;
     }
   }
-  if (use_skip_ || mode_ == CountEngineMode::kSkip) return skip_step();
-  direct_step();
-  return true;
+  bool alive = true;
+  if ((use_skip_ || mode_ == CountEngineMode::kSkip) && skip_allowed()) {
+    alive = skip_step();
+  } else {
+    direct_step();
+  }
+  maybe_fire_injection();
+  return alive;
 }
 
 void CountEngine::run_rounds(double rounds_to_run) {
-  const double target =
-      (static_cast<double>(interactions_) + rounds_to_run * static_cast<double>(n_));
-  const auto target_i = static_cast<std::uint64_t>(std::ceil(target));
-  while (interactions_ < target_i) {
+  const double target = time_ + rounds_to_run;
+  while (time_ < target) {
+    // When a fault schedule is installed, jumps (skip-ahead or silent
+    // fast-forward) are capped at the next whole-round boundary so events
+    // land on schedule; the geometric law's memorylessness makes stopping
+    // early and resampling exact.
+    double limit = target;
+    if (injection_.on_round)
+      limit = std::min(limit, last_injection_round_ + 1.0);
     if (silent_) {
-      interactions_ = target_i;  // nothing can change; fast-forward
-      return;
+      interactions_ += static_cast<std::uint64_t>(
+          std::llround((limit - time_) * static_cast<double>(n_)));
+      time_ = limit;  // nothing can change; fast-forward
+      maybe_fire_injection();
+      continue;
     }
-    if (use_skip_ || mode_ == CountEngineMode::kSkip) {
-      // Peek at whether the next effective interaction lands past the
-      // horizon; by memorylessness of the geometric law we may fast-forward
-      // and resample later.
+    if ((use_skip_ || mode_ == CountEngineMode::kSkip) && skip_allowed()) {
       rebuild_events();
       if (events_total_weight_ <= 0.0) {
         silent_ = true;
-        interactions_ = target_i;
-        return;
+        continue;
       }
       const std::uint64_t skip =
           rng_.geometric(std::min(events_total_weight_, 1.0));
-      if (interactions_ + skip + 1 > target_i) {
-        interactions_ = target_i;
-        return;
+      const double landing =
+          time_ + static_cast<double>(skip + 1) / static_cast<double>(n_);
+      if (landing > limit) {
+        interactions_ += static_cast<std::uint64_t>(
+            std::llround((limit - time_) * static_cast<double>(n_)));
+        time_ = limit;
+        maybe_fire_injection();
+        continue;
       }
       interactions_ += skip + 1;
+      time_ = landing;
       double u = rng_.uniform() * events_total_weight_;
       const Event* chosen = &events_.back();
       for (const auto& e : events_) {
@@ -215,11 +360,13 @@ void CountEngine::run_rounds(double rounds_to_run) {
         }
         u -= e.weight;
       }
-      apply_pair(*chosen->rule, chosen->species_a, chosen->species_b, true);
+      if (!(injection_.drop_interaction && injection_.drop_interaction(rng_)))
+        apply_pair(*chosen->rule, chosen->species_a, chosen->species_b, true);
       // Re-evaluate auto switching.
       if (mode_ == CountEngineMode::kAuto &&
           events_total_weight_ > kSwitchToDirectAbove)
         use_skip_ = false;
+      maybe_fire_injection();
     } else {
       step();
     }
@@ -234,7 +381,9 @@ std::optional<double> CountEngine::run_until(
   while (rounds() < max_rounds) {
     run_rounds(check_interval);
     if (predicate(*this)) return rounds();
-    if (silent_) return std::nullopt;
+    // A silent configuration can only change if a fault schedule may still
+    // perturb it.
+    if (silent_ && !injection_.on_round) return std::nullopt;
   }
   return std::nullopt;
 }
@@ -255,6 +404,14 @@ std::vector<std::pair<State, std::uint64_t>> CountEngine::species() const {
   std::vector<std::pair<State, std::uint64_t>> out;
   for (std::size_t i = 0; i < states_.size(); ++i)
     if (counts_[i] > 0) out.emplace_back(states_[i], counts_[i]);
+  return out;
+}
+
+std::vector<std::pair<State, std::uint64_t>> CountEngine::crashed_species()
+    const {
+  std::vector<std::pair<State, std::uint64_t>> out;
+  for (const auto& [s, c] : crashed_)
+    if (c > 0) out.emplace_back(s, c);
   return out;
 }
 

@@ -10,6 +10,13 @@
 // to the direct simulation, but late-stage sparse dynamics (|X|+|X|
 // elimination, DV12 exact majority, ...) run in time proportional to the
 // number of *effective* interactions instead of all interactions.
+//
+// Fault support (src/faults/): the engine carries the same InjectionHook /
+// SchedulerBias surface as the agent-based Engine, plus count-level churn
+// (crash_random / rejoin_random move agents out of and back into the
+// scheduled multiset with their state frozen while away) and targeted
+// corruption (mutate_random_agents). Parallel time is accumulated as
+// 1/n_active per interaction, so it stays calibrated under churn.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/injection.hpp"
 #include "core/protocol.hpp"
 #include "support/rng.hpp"
 
@@ -43,9 +51,38 @@ class CountEngine {
 
   /// Run until predicate(engine) holds (checked after every effective
   /// change, at most every `check_interval` rounds); nullopt on timeout.
+  /// Same resolution caveat as Engine::run_until: the returned time is the
+  /// first *check* at which the predicate held, quantized to the
+  /// check-interval grid, not the true first-hold instant.
   std::optional<double> run_until(
       const std::function<bool(const CountEngine&)>& predicate,
       double max_rounds, double check_interval = 1.0);
+
+  /// Fault-layer injection points (see core/injection.hpp). Unset hooks
+  /// leave the RNG stream and trajectory bit-for-bit unchanged. While a
+  /// SchedulerBias is active the engine runs in direct mode (the skip-ahead
+  /// law assumes uniform pair sampling).
+  void set_injection_hook(InjectionHook hook);
+  void set_scheduler_bias(std::optional<SchedulerBias> bias);
+
+  // -- Dynamic population (churn) on counts ---------------------------------
+  /// Move up to `k` uniformly chosen agents out of the scheduled multiset
+  /// (state frozen while away); at least two stay. Returns the number moved.
+  std::uint64_t crash_random(std::uint64_t k, Rng& rng);
+  /// Return up to `k` uniformly chosen crashed agents, with their stale
+  /// state. Returns the number rejoined.
+  std::uint64_t rejoin_random(std::uint64_t k, Rng& rng);
+  std::uint64_t rejoin_all();
+  std::uint64_t crashed_count() const { return crashed_n_; }
+
+  /// Overwrite the states of `k` distinct, uniformly chosen scheduled
+  /// agents (exact multivariate-hypergeometric sampling on counts):
+  /// agent j (j = 0..k-1) with old state `s` gets `f(s, j)`. Returns the
+  /// number of agents drawn (min(k, n)); rewrites that leave a victim's
+  /// state unchanged are applied as no-ops. Used for fault injection.
+  std::uint64_t mutate_random_agents(
+      std::uint64_t k, Rng& rng,
+      const std::function<State(State old_state, std::uint64_t j)>& f);
 
   std::uint64_t count_state(State s) const;
   std::uint64_t count_matching(const Guard& g) const;
@@ -54,14 +91,15 @@ class CountEngine {
   }
   bool exists(const BoolExpr& e) const { return count_matching(e) > 0; }
 
-  /// All species with nonzero count.
+  /// All species with nonzero count (scheduled agents only).
   std::vector<std::pair<State, std::uint64_t>> species() const;
+  /// Crashed agents' frozen states, by species.
+  std::vector<std::pair<State, std::uint64_t>> crashed_species() const;
 
-  double rounds() const {
-    return static_cast<double>(interactions_) / static_cast<double>(n_);
-  }
+  double rounds() const { return time_; }
   std::uint64_t interactions() const { return interactions_; }
   std::uint64_t effective_interactions() const { return effective_; }
+  /// Scheduled (non-crashed) population size.
   std::uint64_t n() const { return n_; }
   bool silent() const { return silent_; }
 
@@ -82,6 +120,10 @@ class CountEngine {
   void add_count(State s, std::uint64_t delta);
   void remove_count(std::size_t index, std::uint64_t delta);
   std::size_t sample_species(std::uint64_t exclude_one_of = ~0ull);
+  /// sample_species with an external generator (fault-layer sampling).
+  std::size_t sample_species_with(Rng& rng) const;
+  bool skip_allowed() const;
+  void maybe_fire_injection();
 
   const Protocol& protocol_;
   std::vector<Protocol::WeightedRule> rules_;
@@ -95,6 +137,12 @@ class CountEngine {
   bool silent_ = false;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
+  double time_ = 0.0;
+  double last_injection_round_ = 0.0;
+  InjectionHook injection_;
+  std::optional<SchedulerBias> bias_;
+  std::vector<std::pair<State, std::uint64_t>> crashed_;
+  std::uint64_t crashed_n_ = 0;
   // Auto-mode statistics over a sliding window of direct steps.
   std::uint64_t window_steps_ = 0;
   std::uint64_t window_effective_ = 0;

@@ -1,6 +1,8 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace popproto {
 
@@ -11,18 +13,53 @@ Engine::Engine(const Protocol& protocol, std::vector<State> initial_states,
       rng_(seed),
       scheduler_(scheduler) {
   POPPROTO_CHECK(protocol_.num_rules() > 0);
+  active_.resize(pop_.size());
+  std::iota(active_.begin(), active_.end(), 0u);
+  pos_in_active_ = active_;
 }
 
-double Engine::rounds() const {
-  if (scheduler_ == SchedulerKind::kSequential)
-    return static_cast<double>(interactions_) / static_cast<double>(pop_.size());
-  return static_cast<double>(matching_rounds_);
+void Engine::set_round_hook(RoundHook hook) {
+  round_hook_ = std::move(hook);
+  last_hook_round_ = std::floor(time_);
 }
 
-void Engine::sequential_step() {
-  const auto [a, b] = rng_.distinct_pair(pop_.size());
+void Engine::set_injection_hook(InjectionHook hook) {
+  injection_ = std::move(hook);
+  last_injection_round_ = std::floor(time_);
+}
+
+void Engine::set_scheduler_bias(std::optional<SchedulerBias> bias) {
+  bias_ = std::move(bias);
+}
+
+void Engine::crash_agent(std::size_t i) {
+  POPPROTO_CHECK(i < pop_.size());
+  if (!is_active(i)) return;
+  POPPROTO_CHECK_MSG(active_.size() > 2,
+                     "at least two agents must stay scheduled");
+  const std::uint32_t p = pos_in_active_[i];
+  const std::uint32_t last = active_.back();
+  active_[p] = last;
+  pos_in_active_[last] = p;
+  active_.pop_back();
+  pos_in_active_[i] = kNotActive;
+}
+
+void Engine::rejoin_agent(std::size_t i) {
+  POPPROTO_CHECK(i < pop_.size());
+  if (is_active(i)) return;
+  pos_in_active_[i] = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(static_cast<std::uint32_t>(i));
+}
+
+void Engine::rejoin_agent(std::size_t i, State fresh) {
+  rejoin_agent(i);
+  pop_.set_state(i, fresh);
+}
+
+void Engine::interact(std::uint32_t a, std::uint32_t b) {
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
   const Rule* rule = protocol_.sample_rule(rng_);
-  ++interactions_;
   if (rule == nullptr) return;
   const State sa = pop_.state(a);
   const State sb = pop_.state(b);
@@ -32,28 +69,57 @@ void Engine::sequential_step() {
   if (nb != sb) pop_.set_state(b, nb);
 }
 
-void Engine::matching_step() {
-  sample_random_matching(pop_.size(), rng_, matching_buf_);
-  for (const auto& [a, b] : matching_buf_) {
-    const Rule* rule = protocol_.sample_rule(rng_);
-    if (rule == nullptr) continue;
-    const State sa = pop_.state(a);
-    const State sb = pop_.state(b);
-    if (!rule->matches(sa, sb)) continue;
-    const auto [na, nb] = rule->apply(sa, sb, rng_);
-    if (na != sa) pop_.set_state(a, na);
-    if (nb != sb) pop_.set_state(b, nb);
+void Engine::bias_sequential_pair(std::uint32_t& a, std::uint32_t b) {
+  if (!bias_ || bias_->epsilon <= 0.0) return;
+  if (!rng_.chance(bias_->epsilon)) return;
+  for (int t = 0; t < bias_->tries; ++t) {
+    const auto cand = active_[rng_.below(active_.size())];
+    if (cand == b) continue;
+    a = cand;
+    if (bias_->prefer.matches(pop_.state(a))) break;
   }
-  interactions_ += matching_buf_.size();
-  ++matching_rounds_;
 }
 
-void Engine::fire_round_hook_if_due() {
-  if (!round_hook_) return;
-  const double r = rounds();
-  if (r >= last_hook_round_ + 1.0) {
-    last_hook_round_ = std::floor(r);
-    round_hook_(r, pop_);
+void Engine::sequential_step() {
+  const auto [pa, pb] = rng_.distinct_pair(active_.size());
+  std::uint32_t a = active_[pa];
+  const std::uint32_t b = active_[pb];
+  bias_sequential_pair(a, b);
+  ++interactions_;
+  time_ += 1.0 / static_cast<double>(active_.size());
+  interact(a, b);
+}
+
+void Engine::matching_step() {
+  sample_random_matching(active_.size(), rng_, matching_buf_);
+  for (const auto& [pa, pb] : matching_buf_) {
+    std::uint32_t a = active_[pa];
+    std::uint32_t b = active_[pb];
+    if (bias_ && bias_->epsilon > 0.0 && rng_.chance(bias_->epsilon) &&
+        !bias_->prefer.matches(pop_.state(a)) &&
+        bias_->prefer.matches(pop_.state(b)))
+      std::swap(a, b);
+    interact(a, b);
+  }
+  interactions_ += matching_buf_.size();
+  time_ += 1.0;
+}
+
+void Engine::fire_round_hooks_if_due() {
+  // Walk every whole-round boundary crossed since the last firing so each
+  // hook runs exactly once per round, even when a single activation (a
+  // matching round, or a hook installed mid-run) spans several boundaries.
+  if (injection_.on_round) {
+    while (last_injection_round_ + 1.0 <= time_) {
+      last_injection_round_ += 1.0;
+      injection_.on_round(last_injection_round_);
+    }
+  }
+  if (round_hook_) {
+    while (last_hook_round_ + 1.0 <= time_) {
+      last_hook_round_ += 1.0;
+      round_hook_(last_hook_round_, pop_);
+    }
   }
 }
 
@@ -63,17 +129,12 @@ void Engine::step() {
   } else {
     matching_step();
   }
-  fire_round_hook_if_due();
+  fire_round_hooks_if_due();
 }
 
 void Engine::run_rounds(double rounds_to_run) {
-  const double target = rounds() + rounds_to_run;
-  if (scheduler_ == SchedulerKind::kSequential) {
-    const auto n = static_cast<double>(pop_.size());
-    while (static_cast<double>(interactions_) / n < target) step();
-  } else {
-    while (static_cast<double>(matching_rounds_) < target) step();
-  }
+  const double target = time_ + rounds_to_run;
+  while (time_ < target) step();
 }
 
 std::optional<double> Engine::run_until(

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 
+#include "core/injection.hpp"
 #include "core/population.hpp"
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
@@ -14,7 +15,9 @@ namespace popproto {
 /// Drives a Protocol on an AgentPopulation under a chosen scheduler.
 ///
 /// Parallel time accounting: one sequential interaction advances time by
-/// 1/n rounds; one random-matching activation advances time by one round.
+/// 1/n_active rounds; one random-matching activation advances time by one
+/// round. n_active is the number of non-crashed agents, so parallel time
+/// stays calibrated to the scheduled population under churn.
 class Engine {
  public:
   Engine(const Protocol& protocol, std::vector<State> initial_states,
@@ -29,17 +32,48 @@ class Engine {
   void run_rounds(double rounds);
 
   /// Run until `predicate(population)` holds, checking every
-  /// `check_interval` rounds; gives up after `max_rounds`. Returns the
-  /// parallel time at which the predicate first held, or nullopt.
+  /// `check_interval` rounds; gives up after `max_rounds`.
+  ///
+  /// Resolution semantics: the predicate is only evaluated on the
+  /// check-interval grid, so the returned value is the parallel time of the
+  /// first *check* at which the predicate held — i.e. the true first-hold
+  /// time quantized UP to the next multiple of `check_interval` (plus at
+  /// most one interaction of scheduler overshoot). It is not the exact
+  /// first instant the predicate became true; shrink `check_interval` when
+  /// finer resolution is needed. Returns nullopt on timeout.
   std::optional<double> run_until(
       const std::function<bool(const AgentPopulation&)>& predicate,
       double max_rounds, double check_interval = 1.0);
 
-  /// Callback invoked after every whole round of parallel time.
+  /// Callback invoked exactly once per whole round of parallel time, with
+  /// strictly increasing rounds. Installing a hook mid-run starts the
+  /// cadence at the next whole round after the current time.
   using RoundHook = std::function<void(double round, const AgentPopulation&)>;
-  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+  void set_round_hook(RoundHook hook);
 
-  double rounds() const;
+  /// Fault-layer injection points (see core/injection.hpp). Unset hooks
+  /// leave the engine's RNG stream and trajectory bit-for-bit unchanged.
+  void set_injection_hook(InjectionHook hook);
+  /// Enable (or, with nullopt, disable) the ε-of-uniform pair-sampling skew.
+  void set_scheduler_bias(std::optional<SchedulerBias> bias);
+
+  // -- Dynamic population (agent churn) -------------------------------------
+  /// Remove agent `i` from the scheduled set: it takes part in no further
+  /// interactions and its state is frozen until it rejoins. At least two
+  /// agents must remain active. No-op if already crashed.
+  void crash_agent(std::size_t i);
+  /// Return a crashed agent to the scheduled set with its stale state, or
+  /// with `fresh` when provided. No-op if the agent is active.
+  void rejoin_agent(std::size_t i);
+  void rejoin_agent(std::size_t i, State fresh);
+  bool is_active(std::size_t i) const {
+    return pos_in_active_[i] != kNotActive;
+  }
+  std::size_t active_count() const { return active_.size(); }
+  /// Ids of currently scheduled agents (order is internal, not stable).
+  const std::vector<std::uint32_t>& active_agents() const { return active_; }
+
+  double rounds() const { return time_; }
   std::uint64_t interactions() const { return interactions_; }
   const AgentPopulation& population() const { return pop_; }
   AgentPopulation& population() { return pop_; }
@@ -47,18 +81,30 @@ class Engine {
   std::size_t n() const { return pop_.size(); }
 
  private:
+  static constexpr std::uint32_t kNotActive = ~0u;
+
   void sequential_step();
   void matching_step();
-  void fire_round_hook_if_due();
+  void fire_round_hooks_if_due();
+  /// Apply one interaction of the protocol to the ordered pair (a, b),
+  /// honouring dropout and rule sampling. Shared by both schedulers.
+  void interact(std::uint32_t a, std::uint32_t b);
+  /// ε-mixture initiator skew for a sequential pair (see SchedulerBias).
+  void bias_sequential_pair(std::uint32_t& a, std::uint32_t b);
 
   const Protocol& protocol_;
   AgentPopulation pop_;
   Rng rng_;
   SchedulerKind scheduler_;
   std::uint64_t interactions_ = 0;
-  std::uint64_t matching_rounds_ = 0;
+  double time_ = 0.0;
   double last_hook_round_ = 0.0;
+  double last_injection_round_ = 0.0;
   RoundHook round_hook_;
+  InjectionHook injection_;
+  std::optional<SchedulerBias> bias_;
+  std::vector<std::uint32_t> active_;         // scheduled agent ids
+  std::vector<std::uint32_t> pos_in_active_;  // agent id -> index in active_
   std::vector<std::pair<std::uint32_t, std::uint32_t>> matching_buf_;
 };
 

@@ -20,8 +20,9 @@ namespace popproto {
 enum class SchedulerKind { kSequential, kRandomMatching };
 
 /// Sample a uniformly random maximal matching on {0..n-1}: a random
-/// permutation paired off two-by-two (one agent is left unmatched when n is
-/// odd). Orientation within a pair is random. Appends pairs to `out`.
+/// permutation paired off two-by-two (every agent in at most one pair;
+/// exactly one agent is left unmatched when n is odd). Orientation within a
+/// pair is uniform. Replaces the contents of `out`.
 void sample_random_matching(std::size_t n, Rng& rng,
                             std::vector<std::pair<std::uint32_t, std::uint32_t>>& out);
 

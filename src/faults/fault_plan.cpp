@@ -1,0 +1,103 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+FaultEvent& FaultPlan::push(FaultKind kind) {
+  events_.emplace_back();
+  events_.back().kind = kind;
+  return events_.back();
+}
+
+FaultPlan& FaultPlan::corrupt_at(double round, CorruptSpec spec) {
+  POPPROTO_CHECK(spec.fraction >= 0.0 && spec.fraction <= 1.0);
+  FaultEvent& e = push(FaultKind::kCorrupt);
+  e.at_round = round;
+  e.corrupt = std::move(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_bernoulli(double rate, double from, double until,
+                                        CorruptSpec spec) {
+  POPPROTO_CHECK(rate > 0.0 && from < until);
+  FaultEvent& e = push(FaultKind::kCorrupt);
+  e.rate = rate;
+  e.from_round = from;
+  e.until_round = until;
+  e.corrupt = std::move(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_at(double round, CrashSpec spec) {
+  FaultEvent& e = push(FaultKind::kCrash);
+  e.at_round = round;
+  e.crash = spec;
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_bernoulli(double rate, double from, double until,
+                                      CrashSpec spec) {
+  POPPROTO_CHECK(rate > 0.0 && from < until);
+  FaultEvent& e = push(FaultKind::kCrash);
+  e.rate = rate;
+  e.from_round = from;
+  e.until_round = until;
+  e.crash = spec;
+  return *this;
+}
+
+FaultPlan& FaultPlan::rejoin_at(double round, RejoinSpec spec) {
+  FaultEvent& e = push(FaultKind::kRejoin);
+  e.at_round = round;
+  e.rejoin = spec;
+  return *this;
+}
+
+FaultPlan& FaultPlan::rejoin_bernoulli(double rate, double from, double until,
+                                       RejoinSpec spec) {
+  POPPROTO_CHECK(rate > 0.0 && from < until);
+  FaultEvent& e = push(FaultKind::kRejoin);
+  e.rate = rate;
+  e.from_round = from;
+  e.until_round = until;
+  e.rejoin = spec;
+  return *this;
+}
+
+FaultPlan& FaultPlan::dropout_window(double from, double until, double p) {
+  POPPROTO_CHECK(p >= 0.0 && p <= 1.0 && from < until);
+  FaultEvent& e = push(FaultKind::kDropout);
+  e.from_round = from;
+  e.until_round = until;
+  e.dropout_p = p;
+  return *this;
+}
+
+FaultPlan& FaultPlan::bias_window(double from, double until,
+                                  SchedulerBias bias) {
+  POPPROTO_CHECK(bias.epsilon >= 0.0 && bias.epsilon <= 1.0 && from < until);
+  FaultEvent& e = push(FaultKind::kBias);
+  e.from_round = from;
+  e.until_round = until;
+  e.bias = std::move(bias);
+  return *this;
+}
+
+double FaultPlan::last_scheduled_round() const {
+  double last = 0.0;
+  for (const auto& e : events_) {
+    if (e.rate > 0.0 || e.kind == FaultKind::kDropout ||
+        e.kind == FaultKind::kBias) {
+      if (e.until_round < std::numeric_limits<double>::infinity())
+        last = std::max(last, e.until_round);
+    } else {
+      last = std::max(last, e.at_round);
+    }
+  }
+  return last;
+}
+
+}  // namespace popproto

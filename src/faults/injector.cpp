@@ -1,0 +1,223 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+
+namespace popproto {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {}
+
+void FaultInjector::reset_firing_state() {
+  fired_.assign(plan_.size(), 0);
+  window_on_.assign(plan_.size(), 0);
+  dropout_p_ = 0.0;
+  log_.clear();
+}
+
+std::uint64_t FaultInjector::resolve_k(double fraction, std::uint64_t count) {
+  if (count > 0) return count;
+  return static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(target_.active_n())));
+}
+
+State FaultInjector::corrupt_value(const CorruptSpec& spec, std::uint64_t j) {
+  switch (spec.mode) {
+    case CorruptMode::kFixed:
+      return spec.fixed_state;
+    case CorruptMode::kRandom:
+      POPPROTO_CHECK_MSG(!spec.palette.empty(),
+                         "kRandom corruption needs a palette");
+      return spec.palette[rng_.below(spec.palette.size())];
+    case CorruptMode::kSpread:
+      POPPROTO_CHECK_MSG(!spec.palette.empty(),
+                         "kSpread corruption needs a palette");
+      return spec.palette[j % spec.palette.size()];
+  }
+  return spec.fixed_state;
+}
+
+double FaultInjector::combined_dropout() const {
+  // Overlapping dropout windows compose as independent losses.
+  double keep = 1.0;
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i].kind == FaultKind::kDropout && window_on_[i])
+      keep *= 1.0 - events[i].dropout_p;
+  return 1.0 - keep;
+}
+
+void FaultInjector::apply(const FaultEvent& event, std::size_t index,
+                          double round) {
+  std::uint64_t affected = 0;
+  switch (event.kind) {
+    case FaultKind::kCorrupt:
+      affected = target_.corrupt(
+          event.corrupt, resolve_k(event.corrupt.fraction, event.corrupt.count));
+      break;
+    case FaultKind::kCrash:
+      affected =
+          target_.crash(resolve_k(event.crash.fraction, event.crash.count));
+      break;
+    case FaultKind::kRejoin:
+      affected = target_.rejoin(
+          event.rejoin, resolve_k(event.rejoin.fraction, event.rejoin.count));
+      break;
+    case FaultKind::kDropout:
+    case FaultKind::kBias:
+      break;  // windowed; handled in on_round
+  }
+  (void)index;
+  log_.push_back(Applied{round, event.kind, affected});
+}
+
+void FaultInjector::on_round(double round, bool at_boundary) {
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    switch (e.kind) {
+      case FaultKind::kCorrupt:
+      case FaultKind::kCrash:
+      case FaultKind::kRejoin:
+        if (e.rate <= 0.0) {
+          if (!fired_[i] && round >= e.at_round) {
+            fired_[i] = 1;
+            apply(e, i, round);
+          }
+        } else if (at_boundary && round >= e.from_round &&
+                   round < e.until_round &&
+                   rng_.chance(std::min(e.rate, 1.0))) {
+          apply(e, i, round);
+        }
+        break;
+      case FaultKind::kDropout: {
+        const char want = round >= e.from_round && round < e.until_round;
+        if (want != window_on_[i]) {
+          window_on_[i] = want;
+          dropout_p_ = combined_dropout();
+          log_.push_back(Applied{round, e.kind, 0});
+        }
+        break;
+      }
+      case FaultKind::kBias: {
+        const char want = round >= e.from_round && round < e.until_round;
+        if (want != window_on_[i]) {
+          window_on_[i] = want;
+          target_.set_bias(want ? &e.bias : nullptr);
+          log_.push_back(Applied{round, e.kind, 0});
+        }
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+bool plan_has_dropout(const FaultPlan& plan) {
+  for (const auto& e : plan.events())
+    if (e.kind == FaultKind::kDropout) return true;
+  return false;
+}
+
+}  // namespace
+
+void FaultInjector::attach(Engine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+
+  target_.active_n = [&engine] {
+    return static_cast<std::uint64_t>(engine.active_count());
+  };
+  target_.corrupt = [this, &engine](const CorruptSpec& spec,
+                                    std::uint64_t k) -> std::uint64_t {
+    std::vector<std::uint32_t> pool = engine.active_agents();
+    k = std::min<std::uint64_t>(k, pool.size());
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::swap(pool[j], pool[j + rng_.below(pool.size() - j)]);
+      const std::uint32_t victim = pool[j];
+      const State old = engine.population().state(victim);
+      const State value = corrupt_value(spec, j);
+      engine.population().set_state(victim,
+                                    (old & ~spec.mask) | (value & spec.mask));
+    }
+    return k;
+  };
+  target_.crash = [this, &engine](std::uint64_t k) -> std::uint64_t {
+    std::vector<std::uint32_t> pool = engine.active_agents();
+    if (pool.size() <= 2) return 0;
+    k = std::min<std::uint64_t>(k, pool.size() - 2);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::swap(pool[j], pool[j + rng_.below(pool.size() - j)]);
+      engine.crash_agent(pool[j]);
+    }
+    return k;
+  };
+  target_.rejoin = [this, &engine](const RejoinSpec& spec,
+                                   std::uint64_t k) -> std::uint64_t {
+    std::vector<std::uint32_t> pool;
+    for (std::size_t i = 0; i < engine.n(); ++i)
+      if (!engine.is_active(i)) pool.push_back(static_cast<std::uint32_t>(i));
+    if (!spec.all) k = std::min<std::uint64_t>(k, pool.size());
+    if (spec.all) k = pool.size();
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::swap(pool[j], pool[j + rng_.below(pool.size() - j)]);
+      engine.rejoin_agent(pool[j]);  // stale state
+    }
+    return k;
+  };
+  target_.set_bias = [&engine](const SchedulerBias* bias) {
+    engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
+                                   : std::nullopt);
+  };
+
+  InjectionHook hook;
+  hook.on_round = [this](double round) { on_round(round); };
+  if (plan_has_dropout(plan_))
+    hook.drop_interaction = [this](Rng& rng) {
+      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
+    };
+  engine.set_injection_hook(std::move(hook));
+  // Apply the schedule as of the current time: overdue one-shots (e.g.
+  // corrupt_at(0) perturbing the initial configuration) fire now, and
+  // windows covering the present open immediately.
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+void FaultInjector::attach(CountEngine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+
+  target_.active_n = [&engine] { return engine.n(); };
+  target_.corrupt = [this, &engine](const CorruptSpec& spec,
+                                    std::uint64_t k) -> std::uint64_t {
+    return engine.mutate_random_agents(
+        k, rng_, [this, &spec](State old, std::uint64_t j) {
+          return (old & ~spec.mask) | (corrupt_value(spec, j) & spec.mask);
+        });
+  };
+  target_.crash = [this, &engine](std::uint64_t k) {
+    return engine.crash_random(k, rng_);
+  };
+  target_.rejoin = [this, &engine](const RejoinSpec& spec, std::uint64_t k) {
+    return spec.all ? engine.rejoin_all() : engine.rejoin_random(k, rng_);
+  };
+  target_.set_bias = [&engine](const SchedulerBias* bias) {
+    engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
+                                   : std::nullopt);
+  };
+
+  InjectionHook hook;
+  hook.on_round = [this](double round) { on_round(round); };
+  if (plan_has_dropout(plan_))
+    hook.drop_interaction = [this](Rng& rng) {
+      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
+    };
+  engine.set_injection_hook(std::move(hook));
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+}  // namespace popproto

@@ -1,0 +1,79 @@
+// FaultInjector: replays a FaultPlan against a running engine.
+//
+// The injector binds a plan to one engine at a time via attach(), which
+// installs the InjectionHook callbacks (core/injection.hpp) — nothing is
+// installed for an empty plan, so an empty-plan run is bit-for-bit equal to
+// an uninjected run at the same seed. Fault randomness (victim selection,
+// Bernoulli triggers, corruption values) is drawn from the injector's own
+// seeded Rng, independent of the engine's stream; interaction dropout draws
+// from the engine Rng inside the interaction path, as any scheduler noise
+// must. The injector must outlive the attached engine's run (the hooks
+// capture both).
+//
+// Every applied event is recorded in log() — (round, kind, #agents
+// affected) — so experiments can line recovery measurements up with the
+// exact perturbation times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "support/rng.hpp"
+
+namespace popproto {
+
+class Engine;
+class CountEngine;
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Install the plan's hooks on an engine. Re-attaching (to the same or a
+  /// fresh engine) resets all firing state, so one injector can drive many
+  /// seeded trials of the same plan.
+  void attach(Engine& engine);
+  void attach(CountEngine& engine);
+
+  struct Applied {
+    double round = 0.0;
+    FaultKind kind = FaultKind::kCorrupt;
+    std::uint64_t affected = 0;  // agents touched (0 for window toggles)
+  };
+  const std::vector<Applied>& log() const { return log_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Engine-agnostic mutation surface the adapters bind at attach time.
+  struct Target {
+    std::function<std::uint64_t()> active_n;
+    std::function<std::uint64_t(const CorruptSpec&, std::uint64_t k)> corrupt;
+    std::function<std::uint64_t(std::uint64_t k)> crash;
+    std::function<std::uint64_t(const RejoinSpec&, std::uint64_t k)> rejoin;
+    std::function<void(const SchedulerBias*)> set_bias;  // nullptr disables
+  };
+
+  void reset_firing_state();
+  /// Evaluate the schedule at `round`. `at_boundary` is false for the one
+  /// synchronization call attach() makes at the current engine time — it
+  /// fires overdue one-shots and opens covering windows, but draws no
+  /// Bernoulli trials (those belong to whole-round boundaries only).
+  void on_round(double round, bool at_boundary = true);
+  void apply(const FaultEvent& event, std::size_t index, double round);
+  std::uint64_t resolve_k(double fraction, std::uint64_t count);
+  State corrupt_value(const CorruptSpec& spec, std::uint64_t j);
+  double combined_dropout() const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  Target target_;
+  double dropout_p_ = 0.0;  // read by the installed drop_interaction hook
+  std::vector<char> fired_;
+  std::vector<char> window_on_;
+  std::vector<Applied> log_;
+};
+
+}  // namespace popproto

@@ -76,6 +76,57 @@ TEST(Engine, RoundHookFiresOncePerRound) {
   EXPECT_LE(calls, 11);
 }
 
+TEST(Engine, RoundHookFiresExactlyOncePerWholeRound) {
+  // Regression: the round-hook cadence must not drift — over a long run the
+  // hook fires at every whole round exactly once, in order, under both
+  // schedulers (a matching activation can cross a boundary in one step; a
+  // sequential run crosses one every n interactions).
+  for (const SchedulerKind sched :
+       {SchedulerKind::kSequential, SchedulerKind::kRandomMatching}) {
+    auto vars = make_var_space();
+    const Protocol p = epidemic_protocol(vars);
+    Engine eng(p, std::vector<State>(96, 0), 17, sched);
+    std::vector<double> fired;
+    eng.set_round_hook(
+        [&](double r, const AgentPopulation&) { fired.push_back(r); });
+    eng.run_rounds(200.0);
+    ASSERT_EQ(fired.size(),
+              static_cast<std::size_t>(std::floor(eng.rounds() + 1e-9)))
+        << "scheduler " << static_cast<int>(sched);
+    for (std::size_t k = 0; k < fired.size(); ++k)
+      EXPECT_DOUBLE_EQ(fired[k], static_cast<double>(k + 1));
+  }
+}
+
+TEST(Engine, RunUntilQuantizesToCheckIntervalGrid) {
+  // Pin the documented resolution semantics: run_until returns the first
+  // *check* at which the predicate held — the true first-hold time rounded
+  // UP to the check grid (plus sub-round scheduler overshoot) — so a finer
+  // interval never reports a later time.
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  auto run = [&](double interval) {
+    std::vector<State> init(256, 0);
+    init[0] = var_bit(i);
+    Engine eng(p, std::move(init), 29);
+    const auto t = eng.run_until(
+        [&](const AgentPopulation& pop) { return pop.count_var(i) >= 128; },
+        100.0, interval);
+    EXPECT_TRUE(t.has_value());
+    return t.value_or(-1.0);
+  };
+  const double coarse = run(4.0);
+  const double fine = run(0.25);
+  // Same seed, and the predicate consumes no randomness: both runs follow
+  // the identical trajectory and quantize the same instant.
+  EXPECT_GT(fine, 0.0);
+  EXPECT_LE(fine, coarse + 1e-9);
+  EXPECT_LT(coarse - fine, 4.0 + 0.1);
+  // Grid alignment, up to the accumulated per-call overshoot (< 1/n each).
+  EXPECT_LT(std::fmod(coarse + 1e-9, 4.0), 0.1);
+}
+
 TEST(Engine, DeterministicGivenSeed) {
   auto vars = make_var_space();
   const Protocol p = epidemic_protocol(vars);
@@ -170,6 +221,49 @@ TEST(SchedulerTest, MatchingIsDisjointAndNearPerfect) {
     EXPECT_FALSE(seen[b]);
     seen[a] = seen[b] = true;
   }
+}
+
+TEST(SchedulerTest, MatchingCoversEachAgentAtMostOnceAcrossSizes) {
+  Rng rng(37);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const std::size_t n : {2u, 3u, 7u, 8u, 100u, 101u}) {
+    for (int rep = 0; rep < 50; ++rep) {
+      sample_random_matching(n, rng, pairs);
+      EXPECT_EQ(pairs.size(), n / 2);
+      std::vector<bool> seen(n, false);
+      for (const auto& [a, b] : pairs) {
+        ASSERT_LT(a, n);
+        ASSERT_LT(b, n);
+        EXPECT_FALSE(seen[a]);
+        EXPECT_FALSE(seen[b]);
+        seen[a] = seen[b] = true;
+      }
+      // Exactly one agent unmatched when n is odd, none when n is even.
+      std::size_t unmatched = 0;
+      for (std::size_t a = 0; a < n; ++a) unmatched += !seen[a];
+      EXPECT_EQ(unmatched, n % 2);
+    }
+  }
+}
+
+TEST(SchedulerTest, MatchingOrientationIsUniform) {
+  // Within a sampled pair, which endpoint acts as initiator must be a fair
+  // coin: track how often agent 0 appears in initiator position.
+  Rng rng(41);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  int zero_initiates = 0, zero_matched = 0;
+  const int rounds = 40000;
+  for (int r = 0; r < rounds; ++r) {
+    sample_random_matching(9, rng, pairs);
+    for (const auto& [a, b] : pairs) {
+      if (a == 0 || b == 0) {
+        ++zero_matched;
+        if (a == 0) ++zero_initiates;
+      }
+    }
+  }
+  ASSERT_GT(zero_matched, 10000);
+  EXPECT_NEAR(zero_initiates / static_cast<double>(zero_matched), 0.5, 0.02);
 }
 
 TEST(SchedulerTest, MatchingIsUniformish) {
