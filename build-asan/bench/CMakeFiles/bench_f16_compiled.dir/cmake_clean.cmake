@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f16_compiled.dir/bench_f16_compiled.cpp.o"
+  "CMakeFiles/bench_f16_compiled.dir/bench_f16_compiled.cpp.o.d"
+  "bench_f16_compiled"
+  "bench_f16_compiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f16_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

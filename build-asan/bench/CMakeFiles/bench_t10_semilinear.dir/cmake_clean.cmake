@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_semilinear.dir/bench_t10_semilinear.cpp.o"
+  "CMakeFiles/bench_t10_semilinear.dir/bench_t10_semilinear.cpp.o.d"
+  "bench_t10_semilinear"
+  "bench_t10_semilinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_semilinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t11_baselines.dir/bench_t11_baselines.cpp.o"
+  "CMakeFiles/bench_t11_baselines.dir/bench_t11_baselines.cpp.o.d"
+  "bench_t11_baselines"
+  "bench_t11_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t11_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t12_le_baselines.dir/bench_t12_le_baselines.cpp.o"
+  "CMakeFiles/bench_t12_le_baselines.dir/bench_t12_le_baselines.cpp.o.d"
+  "bench_t12_le_baselines"
+  "bench_t12_le_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t12_le_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

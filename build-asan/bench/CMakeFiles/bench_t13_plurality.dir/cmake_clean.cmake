@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t13_plurality.dir/bench_t13_plurality.cpp.o"
+  "CMakeFiles/bench_t13_plurality.dir/bench_t13_plurality.cpp.o.d"
+  "bench_t13_plurality"
+  "bench_t13_plurality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t13_plurality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t14_tradeoff.dir/bench_t14_tradeoff.cpp.o"
+  "CMakeFiles/bench_t14_tradeoff.dir/bench_t14_tradeoff.cpp.o.d"
+  "bench_t14_tradeoff"
+  "bench_t14_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t14_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t15_engine.dir/bench_t15_engine.cpp.o"
+  "CMakeFiles/bench_t15_engine.dir/bench_t15_engine.cpp.o.d"
+  "bench_t15_engine"
+  "bench_t15_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t15_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

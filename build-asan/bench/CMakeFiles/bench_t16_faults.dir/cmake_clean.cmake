@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t16_faults.dir/bench_t16_faults.cpp.o"
+  "CMakeFiles/bench_t16_faults.dir/bench_t16_faults.cpp.o.d"
+  "bench_t16_faults"
+  "bench_t16_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t16_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_leader_election.dir/bench_t1_leader_election.cpp.o"
+  "CMakeFiles/bench_t1_leader_election.dir/bench_t1_leader_election.cpp.o.d"
+  "bench_t1_leader_election"
+  "bench_t1_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_majority.dir/bench_t2_majority.cpp.o"
+  "CMakeFiles/bench_t2_majority.dir/bench_t2_majority.cpp.o.d"
+  "bench_t2_majority"
+  "bench_t2_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_oscillator.dir/bench_t3_oscillator.cpp.o"
+  "CMakeFiles/bench_t3_oscillator.dir/bench_t3_oscillator.cpp.o.d"
+  "bench_t3_oscillator"
+  "bench_t3_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

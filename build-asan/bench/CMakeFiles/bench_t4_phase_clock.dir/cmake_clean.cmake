@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_phase_clock.dir/bench_t4_phase_clock.cpp.o"
+  "CMakeFiles/bench_t4_phase_clock.dir/bench_t4_phase_clock.cpp.o.d"
+  "bench_t4_phase_clock"
+  "bench_t4_phase_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_phase_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_x_control.dir/bench_t5_x_control.cpp.o"
+  "CMakeFiles/bench_t5_x_control.dir/bench_t5_x_control.cpp.o.d"
+  "bench_t5_x_control"
+  "bench_t5_x_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_x_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

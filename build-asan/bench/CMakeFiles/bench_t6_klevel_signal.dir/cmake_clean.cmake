@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_klevel_signal.dir/bench_t6_klevel_signal.cpp.o"
+  "CMakeFiles/bench_t6_klevel_signal.dir/bench_t6_klevel_signal.cpp.o.d"
+  "bench_t6_klevel_signal"
+  "bench_t6_klevel_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_klevel_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_hierarchy.dir/bench_t7_hierarchy.cpp.o"
+  "CMakeFiles/bench_t7_hierarchy.dir/bench_t7_hierarchy.cpp.o.d"
+  "bench_t7_hierarchy"
+  "bench_t7_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_le_exact.dir/bench_t8_le_exact.cpp.o"
+  "CMakeFiles/bench_t8_le_exact.dir/bench_t8_le_exact.cpp.o.d"
+  "bench_t8_le_exact"
+  "bench_t8_le_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_le_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

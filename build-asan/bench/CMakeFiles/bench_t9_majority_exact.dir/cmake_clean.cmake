@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_majority_exact.dir/bench_t9_majority_exact.cpp.o"
+  "CMakeFiles/bench_t9_majority_exact.dir/bench_t9_majority_exact.cpp.o.d"
+  "bench_t9_majority_exact"
+  "bench_t9_majority_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_majority_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_oscillator.dir/chemical_oscillator.cpp.o"
+  "CMakeFiles/chemical_oscillator.dir/chemical_oscillator.cpp.o.d"
+  "chemical_oscillator"
+  "chemical_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_calculator.dir/predicate_calculator.cpp.o"
+  "CMakeFiles/predicate_calculator.dir/predicate_calculator.cpp.o.d"
+  "predicate_calculator"
+  "predicate_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

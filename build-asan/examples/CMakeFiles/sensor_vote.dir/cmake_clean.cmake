@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_vote.dir/sensor_vote.cpp.o"
+  "CMakeFiles/sensor_vote.dir/sensor_vote.cpp.o.d"
+  "sensor_vote"
+  "sensor_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

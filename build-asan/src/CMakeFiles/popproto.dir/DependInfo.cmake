@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/popproto.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/recovery.cpp" "src/CMakeFiles/popproto.dir/analysis/recovery.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/recovery.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/popproto.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/clocks/hierarchy.cpp" "src/CMakeFiles/popproto.dir/clocks/hierarchy.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/hierarchy.cpp.o.d"
+  "/root/repo/src/clocks/oscillator.cpp" "src/CMakeFiles/popproto.dir/clocks/oscillator.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/oscillator.cpp.o.d"
+  "/root/repo/src/clocks/phase_clock.cpp" "src/CMakeFiles/popproto.dir/clocks/phase_clock.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/phase_clock.cpp.o.d"
+  "/root/repo/src/clocks/x_control.cpp" "src/CMakeFiles/popproto.dir/clocks/x_control.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/clocks/x_control.cpp.o.d"
+  "/root/repo/src/core/count_engine.cpp" "src/CMakeFiles/popproto.dir/core/count_engine.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/count_engine.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/popproto.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/expr.cpp" "src/CMakeFiles/popproto.dir/core/expr.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/expr.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/popproto.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "src/CMakeFiles/popproto.dir/core/population.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/population.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/popproto.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/core/rule.cpp" "src/CMakeFiles/popproto.dir/core/rule.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/rule.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/popproto.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/faults/fault_plan.cpp" "src/CMakeFiles/popproto.dir/faults/fault_plan.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/faults/fault_plan.cpp.o.d"
+  "/root/repo/src/faults/injector.cpp" "src/CMakeFiles/popproto.dir/faults/injector.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/faults/injector.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/popproto.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/compile.cpp" "src/CMakeFiles/popproto.dir/lang/compile.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/compile.cpp.o.d"
+  "/root/repo/src/lang/derandomize.cpp" "src/CMakeFiles/popproto.dir/lang/derandomize.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/derandomize.cpp.o.d"
+  "/root/repo/src/lang/precompile.cpp" "src/CMakeFiles/popproto.dir/lang/precompile.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/precompile.cpp.o.d"
+  "/root/repo/src/lang/runtime.cpp" "src/CMakeFiles/popproto.dir/lang/runtime.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/lang/runtime.cpp.o.d"
+  "/root/repo/src/protocols/baselines.cpp" "src/CMakeFiles/popproto.dir/protocols/baselines.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/baselines.cpp.o.d"
+  "/root/repo/src/protocols/leader_election.cpp" "src/CMakeFiles/popproto.dir/protocols/leader_election.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/leader_election.cpp.o.d"
+  "/root/repo/src/protocols/leader_election_exact.cpp" "src/CMakeFiles/popproto.dir/protocols/leader_election_exact.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/leader_election_exact.cpp.o.d"
+  "/root/repo/src/protocols/majority.cpp" "src/CMakeFiles/popproto.dir/protocols/majority.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/majority.cpp.o.d"
+  "/root/repo/src/protocols/majority_exact.cpp" "src/CMakeFiles/popproto.dir/protocols/majority_exact.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/majority_exact.cpp.o.d"
+  "/root/repo/src/protocols/plurality.cpp" "src/CMakeFiles/popproto.dir/protocols/plurality.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/plurality.cpp.o.d"
+  "/root/repo/src/protocols/semilinear.cpp" "src/CMakeFiles/popproto.dir/protocols/semilinear.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/protocols/semilinear.cpp.o.d"
+  "/root/repo/src/support/fitting.cpp" "src/CMakeFiles/popproto.dir/support/fitting.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/support/fitting.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/popproto.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/popproto.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/popproto.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/popproto.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_engine_test.dir/count_engine_test.cpp.o"
+  "CMakeFiles/count_engine_test.dir/count_engine_test.cpp.o.d"
+  "count_engine_test"
+  "count_engine_test.pdb"
+  "count_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

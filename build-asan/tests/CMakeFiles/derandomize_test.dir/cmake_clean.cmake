@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derandomize_test.dir/derandomize_test.cpp.o"
+  "CMakeFiles/derandomize_test.dir/derandomize_test.cpp.o.d"
+  "derandomize_test"
+  "derandomize_test.pdb"
+  "derandomize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derandomize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

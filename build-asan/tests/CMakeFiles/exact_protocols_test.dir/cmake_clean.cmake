@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_protocols_test.dir/exact_protocols_test.cpp.o"
+  "CMakeFiles/exact_protocols_test.dir/exact_protocols_test.cpp.o.d"
+  "exact_protocols_test"
+  "exact_protocols_test.pdb"
+  "exact_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

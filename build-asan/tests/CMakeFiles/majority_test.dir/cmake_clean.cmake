@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_test.dir/majority_test.cpp.o"
+  "CMakeFiles/majority_test.dir/majority_test.cpp.o.d"
+  "majority_test"
+  "majority_test.pdb"
+  "majority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

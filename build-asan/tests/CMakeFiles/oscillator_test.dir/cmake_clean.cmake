@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillator_test.dir/oscillator_test.cpp.o"
+  "CMakeFiles/oscillator_test.dir/oscillator_test.cpp.o.d"
+  "oscillator_test"
+  "oscillator_test.pdb"
+  "oscillator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

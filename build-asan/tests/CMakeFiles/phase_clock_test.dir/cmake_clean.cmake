@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_clock_test.dir/phase_clock_test.cpp.o"
+  "CMakeFiles/phase_clock_test.dir/phase_clock_test.cpp.o.d"
+  "phase_clock_test"
+  "phase_clock_test.pdb"
+  "phase_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plurality_test.dir/plurality_test.cpp.o"
+  "CMakeFiles/plurality_test.dir/plurality_test.cpp.o.d"
+  "plurality_test"
+  "plurality_test.pdb"
+  "plurality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plurality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

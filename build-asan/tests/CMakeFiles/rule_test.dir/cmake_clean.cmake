@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_test.dir/rule_test.cpp.o"
+  "CMakeFiles/rule_test.dir/rule_test.cpp.o.d"
+  "rule_test"
+  "rule_test.pdb"
+  "rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

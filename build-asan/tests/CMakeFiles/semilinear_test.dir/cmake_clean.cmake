@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilinear_test.dir/semilinear_test.cpp.o"
+  "CMakeFiles/semilinear_test.dir/semilinear_test.cpp.o.d"
+  "semilinear_test"
+  "semilinear_test.pdb"
+  "semilinear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

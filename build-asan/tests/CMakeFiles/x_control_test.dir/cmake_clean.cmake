@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_control_test.dir/x_control_test.cpp.o"
+  "CMakeFiles/x_control_test.dir/x_control_test.cpp.o.d"
+  "x_control_test"
+  "x_control_test.pdb"
+  "x_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

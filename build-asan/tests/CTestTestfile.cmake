@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/expr_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rule_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/population_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/count_engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/oscillator_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/phase_clock_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/x_control_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lang_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/leader_election_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/majority_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/exact_protocols_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/plurality_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/semilinear_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/compiled_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/derandomize_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/faults_test[1]_include.cmake")
