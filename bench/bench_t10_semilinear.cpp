@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   Table t(scaling_headers({"predicate", "path"}));
   for (const auto& sc : scenarios) {
-    auto rows = run_sweep(
+    auto rows = run_sweep_parallel(
         ns, trials, 0x7A10,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           const auto nn = static_cast<std::size_t>(n);

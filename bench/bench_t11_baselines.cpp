@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   // --- Convergence time at gap 1 (exact protocols only). ---
   Table t(scaling_headers({"protocol"}));
   std::vector<ScalingRow> ours, dv12;
-  ours = run_sweep(ns, trials, 0x7B11,
+  ours = run_sweep_parallel(ns, trials, 0x7B11,
                    [&](std::uint64_t n, std::uint64_t seed)
                        -> std::optional<double> {
                      const auto nn = static_cast<std::size_t>(n);
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
                          },
                          10);
                    });
-  dv12 = run_sweep(ns, trials, 0x7B12,
+  dv12 = run_sweep_parallel(ns, trials, 0x7B12,
                    [&](std::uint64_t n, std::uint64_t seed)
                        -> std::optional<double> {
                      auto vars = make_var_space();

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::size_t trials = scaled(10, ctx);
 
   Table t(scaling_headers({"protocol"}));
-  auto ours = run_sweep(
+  auto ours = run_sweep_parallel(
       ns, trials, 0x7C12,
       [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
         auto vars = make_var_space();
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
             },
             400);
       });
-  auto frat = run_sweep(
+  auto frat = run_sweep_parallel(
       ns, trials, 0x7C13,
       [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
         auto vars = make_var_space();

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     auto vars_probe = make_var_space();
     make_plurality_program(vars_probe, colors);
     const auto var_count = vars_probe->size();
-    auto rows = run_sweep(
+    auto rows = run_sweep_parallel(
         ns, trials, 0x7D13,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           const auto nn = static_cast<std::size_t>(n);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   Table t(scaling_headers({"variant", "states"}));
   std::vector<ScalingRow> rows_by_variant[3];
   for (int v = 0; v < 3; ++v) {
-    rows_by_variant[v] = run_sweep(
+    rows_by_variant[v] = run_sweep_parallel(
         ns, trials, 0x7E14 + static_cast<std::uint64_t>(v),
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           const double thr = std::pow(static_cast<double>(n), 1.0 - eps);

@@ -2,6 +2,10 @@
 // throughput of the agent engine, the count engine (direct vs skip-ahead),
 // and the typed clock machinery. These underpin the feasible n-ranges of
 // every other experiment.
+//
+// Besides the console table, results are exported to BENCH_engine.json
+// (override with POPPROTO_BENCH_OUT; see EXPERIMENTS.md for the schema) so
+// perf can be tracked across commits.
 #include <benchmark/benchmark.h>
 
 #include "clocks/hierarchy.hpp"
@@ -9,6 +13,7 @@
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "protocols/baselines.hpp"
+#include "support/bench_io.hpp"
 
 namespace popproto {
 namespace {
@@ -91,5 +96,42 @@ void BM_GuardCompilation(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardCompilation);
 
+// Console output plus a BenchRecord per run for the JSON export. The
+// items_per_second counter (set via SetItemsProcessed; every benchmark above
+// counts one interaction per item) arrives already finalized as a rate.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.wall_seconds = run.real_accumulated_time;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        rec.interactions_per_sec = static_cast<double>(it->second);
+        rec.effective_interactions_per_sec = rec.interactions_per_sec;
+      }
+      rec.extra.emplace_back("iterations",
+                             static_cast<double>(run.iterations));
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<BenchRecord> records;
+};
+
 }  // namespace
 }  // namespace popproto
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  popproto::JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  popproto::write_bench_json(popproto::bench_json_path("BENCH_engine.json"),
+                             "bench_t15_engine", reporter.records);
+  return 0;
+}

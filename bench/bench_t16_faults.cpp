@@ -121,9 +121,9 @@ int main(int argc, char** argv) {
   const std::size_t trials = scaled(3, ctx);
 
   const std::vector<ScalingRow> osc_rows =
-      run_sweep(ns, trials, 0x7316, oscillator_trial);
+      run_sweep_parallel(ns, trials, 0x7316, oscillator_trial);
   const std::vector<ScalingRow> clk_rows =
-      run_sweep(ns, trials, 0x7316, clock_trial);
+      run_sweep_parallel(ns, trials, 0x7316, clock_trial);
 
   Table t(scaling_headers({"protocol", "median/ln n"}));
   for (const auto* rows : {&osc_rows, &clk_rows}) {

@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
       if (!t) return std::nullopt;
       return rounds_out ? *t : static_cast<double>(rt.iterations());
     };
-    iteration_rows = run_sweep(ns, trials, 0x7101, [&](auto n, auto s) {
+    iteration_rows = run_sweep_parallel(ns, trials, 0x7101, [&](auto n, auto s) {
       return run_trial(n, s, false);
     });
-    round_rows = run_sweep(ns, trials, 0x7101, [&](auto n, auto s) {
+    round_rows = run_sweep_parallel(ns, trials, 0x7101, [&](auto n, auto s) {
       return run_trial(n, s, true);
     });
   }

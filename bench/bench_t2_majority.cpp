@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   Table t(scaling_headers({"gap"}));
   std::vector<ScalingRow> gap1_rows;
   for (const auto& g : gaps) {
-    auto rows = run_sweep(ns, trials, 0x7202, [&](std::uint64_t n,
+    auto rows = run_sweep_parallel(ns, trials, 0x7202, [&](std::uint64_t n,
                                                   std::uint64_t seed)
                                                   -> std::optional<double> {
       const auto nn = static_cast<std::size_t>(n);

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   for (const double eps : {0.25, 0.5}) {
     Table t(scaling_headers({"process", "eps"}));
-    std::vector<ScalingRow> elim_rows = run_sweep(
+    std::vector<ScalingRow> elim_rows = run_sweep_parallel(
         ns, trials, 0x7505,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           auto vars = make_var_space();
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       t.row().add("elimination").add(eps, 2);
       add_scaling_columns(t, r);
     }
-    std::vector<ScalingRow> junta_rows = run_sweep(
+    std::vector<ScalingRow> junta_rows = run_sweep_parallel(
         ns, trials, 0x7506,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           XDriverHarness h(make_junta_x_driver(static_cast<std::size_t>(n)),

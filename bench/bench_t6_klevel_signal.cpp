@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   const auto ns = pow2_range(11, ctx.scale >= 2.0 ? 17 : 14);
   Table t(scaling_headers({"k"}));
   for (int k = 1; k <= 3; ++k) {
-    auto rows = run_sweep(
+    auto rows = run_sweep_parallel(
         ns, scaled(3, ctx), 0x7607,
         [&](std::uint64_t nn, std::uint64_t seed) -> std::optional<double> {
           auto vars = make_var_space();

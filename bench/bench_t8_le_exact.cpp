@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   Table t(scaling_headers({"bad it. rate"}));
   std::vector<ScalingRow> clean_rows;
   for (const double bad : {0.0, 0.3}) {
-    auto rows = run_sweep(
+    auto rows = run_sweep_parallel(
         ns, trials, 0x7808,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           auto vars = make_var_space();

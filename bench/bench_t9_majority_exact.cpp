@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   Table t(scaling_headers({"gap", "metric"}));
   for (const bool big_gap : {false, true}) {
     // Fast metric: rounds until the output is first correct everywhere.
-    auto fast_rows = run_sweep(
+    auto fast_rows = run_sweep_parallel(
         ns, trials, 0x7909,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           const auto nn = static_cast<std::size_t>(n);
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
         });
     // Certainty metric: rounds until the minority input is exhausted (after
     // which the output can never flip again).
-    auto certain_rows = run_sweep(
+    auto certain_rows = run_sweep_parallel(
         ns, trials, 0x790A,
         [&](std::uint64_t n, std::uint64_t seed) -> std::optional<double> {
           const auto nn = static_cast<std::size_t>(n);

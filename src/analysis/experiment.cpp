@@ -2,6 +2,7 @@
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace popproto {
 
@@ -19,6 +20,44 @@ std::vector<ScalingRow> run_sweep(const std::vector<std::uint64_t>& ns,
     for (std::size_t t = 0; t < trials; ++t) {
       const std::uint64_t trial_seed = splitmix64(sm);
       if (auto v = fn(n, trial_seed)) {
+        values.push_back(*v);
+        ++row.successes;
+      }
+    }
+    row.value = summarize(std::move(values));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ScalingRow> run_sweep_parallel(const std::vector<std::uint64_t>& ns,
+                                           std::size_t trials,
+                                           std::uint64_t seed, const TrialFn& fn,
+                                           unsigned num_threads) {
+  POPPROTO_CHECK(trials >= 1);
+  // Precompute the exact seed chain run_sweep would walk: one splitmix64
+  // stream across all (n, trial) cells in row-major order. Fanning the cells
+  // out over threads then cannot change which seed a trial gets.
+  const std::size_t jobs = ns.size() * trials;
+  std::vector<std::uint64_t> seeds(jobs);
+  std::uint64_t sm = seed;
+  for (auto& s : seeds) s = splitmix64(sm);
+
+  std::vector<std::optional<double>> results(jobs);
+  ThreadPool(num_threads).parallel_for(jobs, [&](std::size_t j) {
+    results[j] = fn(ns[j / trials], seeds[j]);
+  });
+
+  // Aggregate in trial order — the same value order (and thus the same
+  // Summary, float for float) as the sequential sweep.
+  std::vector<ScalingRow> rows;
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    ScalingRow row;
+    row.n = ns[k];
+    row.trials = trials;
+    std::vector<double> values;
+    for (std::size_t t = 0; t < trials; ++t) {
+      if (const auto& v = results[k * trials + t]) {
         values.push_back(*v);
         ++row.successes;
       }

@@ -30,6 +30,17 @@ std::vector<ScalingRow> run_sweep(const std::vector<std::uint64_t>& ns,
                                   std::size_t trials, std::uint64_t seed,
                                   const TrialFn& fn);
 
+/// run_sweep fanned out over a worker pool. The per-trial seed chain and the
+/// aggregation order are identical to run_sweep, so the returned rows are
+/// bit-for-bit the same for any thread count (0 = hardware concurrency) —
+/// parallelism only changes wall-clock. Requires `fn` to be thread-safe:
+/// each call must derive all of its state from its (n, seed) arguments,
+/// which every bench TrialFn in this repo already does.
+std::vector<ScalingRow> run_sweep_parallel(const std::vector<std::uint64_t>& ns,
+                                           std::size_t trials,
+                                           std::uint64_t seed, const TrialFn& fn,
+                                           unsigned num_threads = 0);
+
 /// Fit the per-n medians to a * (ln n)^p, trying p = 1..max_power.
 PolylogChoice fit_rows_polylog(const std::vector<ScalingRow>& rows,
                                int max_power);

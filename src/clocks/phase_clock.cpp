@@ -179,6 +179,113 @@ int PhaseClockSim::composite_spread() const {
   return arc_spread(occupied);
 }
 
+Protocol make_phase_clock_protocol(VarSpacePtr vars,
+                                   const PhaseClockProtocolParams& params) {
+  const int k = params.believer_k;
+  const int m = params.module;
+  POPPROTO_CHECK(k >= 2 && k <= 4);
+  POPPROTO_CHECK(m >= 2 && m <= 8);
+
+  Protocol proto = make_oscillator_protocol(vars, params.osc);
+
+  const VarId b0 = vars->intern(kPcB0);
+  const VarId b1 = vars->intern(kPcB1);
+  const VarId k0 = vars->intern(kPcK0);
+  const VarId k1 = vars->intern(kPcK1);
+  const VarId d0 = vars->intern(kPcD0);
+  const VarId d1 = vars->intern(kPcD1);
+  const VarId d2 = vars->intern(kPcD2);
+  const VarId ob0 = *vars->find(kOscBit0);
+  const VarId ob1 = *vars->find(kOscBit1);
+  const VarId x = *vars->find(kOscX);
+
+  // Literal conjunction pinning a small integer onto a bit group; doubles as
+  // guard ("value is v") and right-hand side ("set value to v").
+  const auto enc = [](std::vector<VarId> bits, int v) {
+    BoolExpr e = (v & 1) ? BoolExpr::var(bits[0]) : !BoolExpr::var(bits[0]);
+    for (std::size_t i = 1; i < bits.size(); ++i)
+      e = e && ((v >> i) & 1 ? BoolExpr::var(bits[i]) : !BoolExpr::var(bits[i]));
+    return e;
+  };
+  const auto believed_is = [&](int v) { return enc({b0, b1}, v); };
+  const auto streak_is = [&](int v) { return enc({k0, k1}, v); };
+  const auto digit_is = [&](int v) { return enc({d0, d1, d2}, v); };
+  // Partner shows species sp: a non-control agent with those species bits.
+  const auto partner_species = [&](int sp) {
+    return !BoolExpr::var(x) && enc({ob0, ob1}, sp);
+  };
+
+  std::vector<Rule> rules;
+  for (int b = 0; b < 3; ++b) {
+    const int succ = (b + 1) % 3;
+    const std::string sb = std::to_string(b);
+    // Streak building: meeting the believed successor extends the
+    // certificate chain (C'_s: k consecutive hits required).
+    for (int s = 0; s + 1 < k; ++s)
+      rules.push_back(make_rule(believed_is(b) && streak_is(s),
+                                partner_species(succ), streak_is(s + 1),
+                                BoolExpr::any(),
+                                "pc_streak" + std::to_string(s) + "_b" + sb));
+    // Certified advance; the 2 -> 0 wrap ticks the digit.
+    if (succ != 0) {
+      rules.push_back(make_rule(believed_is(b) && streak_is(k - 1),
+                                partner_species(succ),
+                                believed_is(succ) && streak_is(0),
+                                BoolExpr::any(), "pc_advance_b" + sb));
+    } else {
+      for (int d = 0; d < m; ++d)
+        rules.push_back(make_rule(
+            believed_is(b) && streak_is(k - 1) && digit_is(d),
+            partner_species(succ),
+            believed_is(0) && streak_is(0) && digit_is((d + 1) % m),
+            BoolExpr::any(), "pc_tick_d" + std::to_string(d)));
+    }
+    // Any other partner (control agent or wrong species) breaks the streak.
+    rules.push_back(make_rule(
+        believed_is(b) && (BoolExpr::var(k0) || BoolExpr::var(k1)),
+        BoolExpr::var(x) || !enc({ob0, ob1}, succ), streak_is(0),
+        BoolExpr::any(), "pc_miss_b" + sb));
+  }
+  // Pull-forward digit adoption: a partner circularly ahead by [1, m/2)
+  // snaps this agent to its digit (streak dropped). All agents, control
+  // included, carry digits.
+  for (int d = 0; d < m; ++d)
+    for (int off = 1; off < (m + 1) / 2; ++off) {
+      const int q = (d + off) % m;
+      rules.push_back(make_rule(digit_is(d), digit_is(q),
+                                digit_is(q) && streak_is(0), BoolExpr::any(),
+                                "pc_adopt_d" + std::to_string(d) + "_to_d" +
+                                    std::to_string(q)));
+    }
+
+  proto.add_thread("Clock", std::move(rules));
+  return proto;
+}
+
+std::vector<State> phase_clock_initial_states(std::size_t n,
+                                              std::size_t x_count,
+                                              const VarSpace& vars) {
+  POPPROTO_CHECK(n > x_count);
+  const auto x = vars.find(kOscX);
+  POPPROTO_CHECK(x.has_value());
+  std::vector<State> init(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    init[i] = i < x_count
+                  ? var_bit(*x)
+                  : oscillator_state(static_cast<int>(i % 3), 0, vars);
+  }
+  return init;
+}
+
+int phase_clock_digit_of(State s, const VarSpace& vars) {
+  const auto d0 = vars.find(kPcD0);
+  const auto d1 = vars.find(kPcD1);
+  const auto d2 = vars.find(kPcD2);
+  POPPROTO_CHECK(d0 && d1 && d2);
+  return (var_is_set(s, *d0) ? 1 : 0) + (var_is_set(s, *d1) ? 2 : 0) +
+         (var_is_set(s, *d2) ? 4 : 0);
+}
+
 int circular_distance(int a, int b, int m) {
   const int d = std::abs(a - b) % m;
   return std::min(d, m - d);

@@ -148,6 +148,51 @@ class PhaseClockSim {
   std::vector<double> tick_times_;
 };
 
+// -- Bitmask phase-clock protocol ---------------------------------------
+//
+// The same believer + digit machinery expressed as a rule-based Protocol
+// over one VarSpace, composed with make_oscillator_protocol as a second
+// thread. Unlike PhaseClockSim (which applies every matching update
+// systematically per interaction and is the *validated* Theorem 5.2
+// simulator), this form goes through the generic scheduler — each
+// interaction picks one thread and one rule u.a.r. — so its believer
+// dynamics are rule-diluted and correspondingly slower. Its purpose is the
+// engine hot path: with ~60 rules over two threads and ~672 reachable
+// states it is the kernel-benchmark and transition-cache stress protocol
+// (ISSUE 2), not a replacement for PhaseClockSim.
+
+/// Variable names of the clock thread: believed species (2 bits), certifying
+/// streak (2 bits, so believer_k <= 4), digit (3 bits, so module <= 8).
+inline constexpr const char* kPcB0 = "PC_B0";
+inline constexpr const char* kPcB1 = "PC_B1";
+inline constexpr const char* kPcK0 = "PC_K0";
+inline constexpr const char* kPcK1 = "PC_K1";
+inline constexpr const char* kPcD0 = "PC_D0";
+inline constexpr const char* kPcD1 = "PC_D1";
+inline constexpr const char* kPcD2 = "PC_D2";
+
+struct PhaseClockProtocolParams {
+  int believer_k = 4;  // in [2, 4] (two streak bits)
+  int module = 8;      // in [2, 8] (three digit bits)
+  OscillatorParams osc;
+};
+
+/// Oscillator thread + "Clock" thread (streak build/advance/reset on species
+/// observations, digit tick on the 2 -> 0 belief wrap, pull-forward digit
+/// adoption for circular offsets in [1, m/2)) on the shared `vars`.
+Protocol make_phase_clock_protocol(VarSpacePtr vars,
+                                   const PhaseClockProtocolParams& params = {});
+
+/// Initial population for the bitmask clock: agents [0, x_count) are control
+/// (X) agents, the rest split uniformly across the three species at level +;
+/// everyone starts with belief 0, streak 0, digit 0.
+std::vector<State> phase_clock_initial_states(std::size_t n,
+                                              std::size_t x_count,
+                                              const VarSpace& vars);
+
+/// Digit held in a bitmask clock state.
+int phase_clock_digit_of(State s, const VarSpace& vars);
+
 /// Circular distance between two digits mod m.
 int circular_distance(int a, int b, int m);
 

@@ -16,10 +16,10 @@ CountEngine::CountEngine(const Protocol& protocol,
                          std::vector<std::pair<State, std::uint64_t>> initial,
                          std::uint64_t seed, CountEngineMode mode)
     : protocol_(protocol),
-      rules_(protocol.weighted_rules()),
+      cache_(protocol),
       rng_(seed),
       mode_(mode) {
-  POPPROTO_CHECK(!rules_.empty());
+  POPPROTO_CHECK(protocol.num_rules() > 0);
   for (const auto& [s, c] : initial) add_count(s, c);
   POPPROTO_CHECK_MSG(n_ >= 2, "population needs at least 2 agents");
   use_skip_ = (mode == CountEngineMode::kSkip);
@@ -188,18 +188,18 @@ std::uint64_t CountEngine::mutate_random_agents(
   return k;
 }
 
-void CountEngine::apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
-                             bool conditioned_on_change) {
+void CountEngine::apply_change(std::size_t ia, std::size_t ib) {
   const State sa = states_[ia];
   const State sb = states_[ib];
-  const auto [na, nb] = conditioned_on_change
-                            ? rule.apply_conditioned_on_change(sa, sb, rng_)
-                            : rule.apply(sa, sb, rng_);
-  if (na == sa && nb == sb) return;
+  const double u01 = rng_.uniform();
+  const PairOutcome o = use_cache_
+                            ? cache_.sample_change(sa, sb, u01)
+                            : cache_.sample_change_uncached(sa, sb, u01);
+  if (o.a == sa && o.b == sb) return;
   remove_count(ia, 1);
   remove_count(ib, 1);
-  add_count(na, 1);
-  add_count(nb, 1);
+  add_count(o.a, 1);
+  add_count(o.b, 1);
   ++effective_;
 }
 
@@ -218,23 +218,20 @@ void CountEngine::direct_step() {
 
   if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
 
-  // Rule choice: weighted by thread/ruleset structure; residual mass (empty
-  // thread slots) is a no-op.
-  double u = rng_.uniform();
-  const Rule* rule = nullptr;
-  for (const auto& wr : rules_) {
-    if (u < wr.weight) {
-      rule = wr.rule;
-      break;
-    }
-    u -= wr.weight;
-  }
-  if (rule == nullptr) return;
-  if (!rule->matches(states_[ia], states_[ib])) return;
-
-  const std::uint64_t before = effective_;
-  apply_pair(*rule, ia, ib, /*conditioned_on_change=*/false);
-  if (effective_ != before) ++window_effective_;
+  // One fused draw covers thread choice (incl. empty-thread padding mass),
+  // rule choice, and the outcome coin; see core/transition_cache.hpp.
+  const State sa = states_[ia];
+  const State sb = states_[ib];
+  const double u = rng_.uniform();
+  const PairOutcome o =
+      use_cache_ ? cache_.sample(sa, sb, u) : cache_.sample_uncached(sa, sb, u);
+  if (o.a == sa && o.b == sb) return;
+  remove_count(ia, 1);
+  remove_count(ib, 1);
+  add_count(o.a, 1);
+  add_count(o.b, 1);
+  ++effective_;
+  ++window_effective_;
 }
 
 void CountEngine::rebuild_events() {
@@ -243,22 +240,22 @@ void CountEngine::rebuild_events() {
   events_total_weight_ = 0.0;
   const double pair_norm =
       1.0 / (static_cast<double>(n_) * static_cast<double>(n_ - 1));
-  for (const auto& wr : rules_) {
-    for (std::size_t i = 0; i < states_.size(); ++i) {
-      if (!wr.rule->initiator_guard().matches(states_[i])) continue;
-      for (std::size_t j = 0; j < states_.size(); ++j) {
-        if (!wr.rule->responder_guard().matches(states_[j])) continue;
-        const double pchange =
-            wr.rule->change_probability(states_[i], states_[j]);
-        if (pchange <= 0.0) continue;
-        const double pairs =
-            static_cast<double>(counts_[i]) *
-            (static_cast<double>(counts_[j]) - (i == j ? 1.0 : 0.0));
-        if (pairs <= 0.0) continue;
-        const double w = wr.weight * pairs * pair_norm * pchange;
-        events_.push_back(Event{w, wr.rule, i, j});
-        events_total_weight_ += w;
-      }
+  // Pair-major: one fused change weight per ordered species pair replaces
+  // the old rule-major triple loop, so the event list is |S|^2 instead of
+  // |rules| * |S|^2 and the weights come straight from the memo.
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      const double pairs =
+          static_cast<double>(counts_[i]) *
+          (static_cast<double>(counts_[j]) - (i == j ? 1.0 : 0.0));
+      if (pairs <= 0.0) continue;
+      const double cw =
+          use_cache_ ? cache_.change_weight(states_[i], states_[j])
+                     : cache_.change_weight_uncached(states_[i], states_[j]);
+      if (cw <= 0.0) continue;
+      const double w = pairs * pair_norm * cw;
+      events_.push_back(Event{w, i, j});
+      events_total_weight_ += w;
     }
   }
 }
@@ -287,8 +284,7 @@ bool CountEngine::skip_step() {
   // to the exact Geometric(w * (1 - p)) law.
   if (injection_.drop_interaction && injection_.drop_interaction(rng_))
     return true;
-  apply_pair(*chosen->rule, chosen->species_a, chosen->species_b,
-             /*conditioned_on_change=*/true);
+  apply_change(chosen->species_a, chosen->species_b);
   return true;
 }
 
@@ -361,7 +357,7 @@ void CountEngine::run_rounds(double rounds_to_run) {
         u -= e.weight;
       }
       if (!(injection_.drop_interaction && injection_.drop_interaction(rng_)))
-        apply_pair(*chosen->rule, chosen->species_a, chosen->species_b, true);
+        apply_change(chosen->species_a, chosen->species_b);
       // Re-evaluate auto switching.
       if (mode_ == CountEngineMode::kAuto &&
           events_total_weight_ > kSwitchToDirectAbove)

@@ -27,6 +27,7 @@
 
 #include "core/injection.hpp"
 #include "core/protocol.hpp"
+#include "core/transition_cache.hpp"
 #include "support/rng.hpp"
 
 namespace popproto {
@@ -57,6 +58,12 @@ class CountEngine {
   std::optional<double> run_until(
       const std::function<bool(const CountEngine&)>& predicate,
       double max_rounds, double check_interval = 1.0);
+
+  /// Toggle the memoized transition kernel (on by default); both settings
+  /// follow bit-identical trajectories from the same seed (see
+  /// core/transition_cache.hpp).
+  void set_transition_cache(bool enabled) { use_cache_ = enabled; }
+  const TransitionCache& transition_cache() const { return cache_; }
 
   /// Fault-layer injection points (see core/injection.hpp). Unset hooks
   /// leave the RNG stream and trajectory bit-for-bit unchanged. While a
@@ -104,9 +111,10 @@ class CountEngine {
   bool silent() const { return silent_; }
 
  private:
+  // One state-changing (ordered species pair) event for skip-ahead; the
+  // fused per-pair change weight replaces per-rule bookkeeping.
   struct Event {
     double weight;
-    const Rule* rule;
     std::size_t species_a;
     std::size_t species_b;
   };
@@ -115,8 +123,9 @@ class CountEngine {
   void direct_step();
   bool skip_step();
   void rebuild_events();
-  void apply_pair(const Rule& rule, std::size_t ia, std::size_t ib,
-                  bool conditioned_on_change);
+  /// Apply one state-changing interaction to the ordered species pair,
+  /// drawing from the conditional-on-change fused distribution.
+  void apply_change(std::size_t ia, std::size_t ib);
   void add_count(State s, std::uint64_t delta);
   void remove_count(std::size_t index, std::uint64_t delta);
   std::size_t sample_species(std::uint64_t exclude_one_of = ~0ull);
@@ -126,7 +135,8 @@ class CountEngine {
   void maybe_fire_injection();
 
   const Protocol& protocol_;
-  std::vector<Protocol::WeightedRule> rules_;
+  TransitionCache cache_;
+  bool use_cache_ = true;
   std::vector<State> states_;
   std::vector<std::uint64_t> counts_;
   std::unordered_map<State, std::size_t> index_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 namespace popproto {
 
@@ -11,11 +12,15 @@ Engine::Engine(const Protocol& protocol, std::vector<State> initial_states,
     : protocol_(protocol),
       pop_(std::move(initial_states)),
       rng_(seed),
-      scheduler_(scheduler) {
+      scheduler_(scheduler),
+      cache_(protocol) {
   POPPROTO_CHECK(protocol_.num_rules() > 0);
   active_.resize(pop_.size());
   std::iota(active_.begin(), active_.end(), 0u);
   pos_in_active_ = active_;
+  inv_active_ = 1.0 / static_cast<double>(active_.size());
+  sidx_.assign(pop_.size(), TransitionCache::kNoState);
+  pop_version_seen_ = pop_.version();
 }
 
 void Engine::set_round_hook(RoundHook hook) {
@@ -43,6 +48,8 @@ void Engine::crash_agent(std::size_t i) {
   pos_in_active_[last] = p;
   active_.pop_back();
   pos_in_active_[i] = kNotActive;
+  inv_active_ = 1.0 / static_cast<double>(active_.size());
+  active_identity_ = false;
 }
 
 void Engine::rejoin_agent(std::size_t i) {
@@ -50,6 +57,7 @@ void Engine::rejoin_agent(std::size_t i) {
   if (is_active(i)) return;
   pos_in_active_[i] = static_cast<std::uint32_t>(active_.size());
   active_.push_back(static_cast<std::uint32_t>(i));
+  inv_active_ = 1.0 / static_cast<double>(active_.size());
 }
 
 void Engine::rejoin_agent(std::size_t i, State fresh) {
@@ -57,16 +65,76 @@ void Engine::rejoin_agent(std::size_t i, State fresh) {
   pop_.set_state(i, fresh);
 }
 
-void Engine::interact(std::uint32_t a, std::uint32_t b) {
-  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
-  const Rule* rule = protocol_.sample_rule(rng_);
-  if (rule == nullptr) return;
+void Engine::resync_sidx() {
+  std::fill(sidx_.begin(), sidx_.end(), TransitionCache::kNoState);
+  pop_version_seen_ = pop_.version();
+}
+
+void Engine::resolve_cached(std::uint32_t a, std::uint32_t b, double u) {
+  // Index-based fast path: sidx_ shadows each agent's interned state index,
+  // so the steady-state interaction is two index loads, one pair-bound load,
+  // and (only when the draw changes a state) a breakpoint scan — no hashing,
+  // no guard work. Caller guarantees sidx_ is in sync with pop_.
+  std::uint32_t ia = sidx_[a];
+  if (ia == TransitionCache::kNoState) [[unlikely]]
+    ia = sidx_[a] = cache_.state_index(pop_.state(a));
+  std::uint32_t ib = sidx_[b];
+  if (ib == TransitionCache::kNoState) [[unlikely]]
+    ib = sidx_[b] = cache_.state_index(pop_.state(b));
+  if (ia != TransitionCache::kNoState && ib != TransitionCache::kNoState)
+      [[likely]] {
+    const IndexedPair r = cache_.sample_indexed(ia, ib, u);
+    if (r.a != TransitionCache::kNoState &&
+        r.b != TransitionCache::kNoState) [[likely]] {
+      if (r.a != ia) {
+        pop_.set_state(a, cache_.state_at(r.a));
+        sidx_[a] = r.a;
+        ++pop_version_seen_;
+      }
+      if (r.b != ib) {
+        pop_.set_state(b, cache_.state_at(r.b));
+        sidx_[b] = r.b;
+        ++pop_version_seen_;
+      }
+      return;
+    }
+  }
+  // Cap overflow on an input or result state: resolve by value. sidx_
+  // entries for changed agents are reset so the miss path relearns them.
   const State sa = pop_.state(a);
   const State sb = pop_.state(b);
-  if (!rule->matches(sa, sb)) return;
-  const auto [na, nb] = rule->apply(sa, sb, rng_);
-  if (na != sa) pop_.set_state(a, na);
-  if (nb != sb) pop_.set_state(b, nb);
+  const PairOutcome o = cache_.sample(sa, sb, u);
+  if (o.a != sa) {
+    pop_.set_state(a, o.a);
+    sidx_[a] = TransitionCache::kNoState;
+    ++pop_version_seen_;
+  }
+  if (o.b != sb) {
+    pop_.set_state(b, o.b);
+    sidx_[b] = TransitionCache::kNoState;
+    ++pop_version_seen_;
+  }
+}
+
+void Engine::interact(std::uint32_t a, std::uint32_t b) {
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
+  // One fused draw covers thread choice, rule choice, and the outcome coin
+  // (core/transition_cache.hpp); both kernel paths resolve it identically.
+  const double u = rng_.uniform();
+  if (use_cache_) {
+    // The shadow index array is trustworthy as long as every population
+    // mutation went through us; a version mismatch (faults or tests writing
+    // states directly) invalidates it wholesale and relearns lazily.
+    if (pop_.version() != pop_version_seen_) [[unlikely]]
+      resync_sidx();
+    resolve_cached(a, b, u);
+    return;
+  }
+  const State sa = pop_.state(a);
+  const State sb = pop_.state(b);
+  const PairOutcome o = cache_.sample_uncached(sa, sb, u);
+  if (o.a != sa) pop_.set_state(a, o.a);
+  if (o.b != sb) pop_.set_state(b, o.b);
 }
 
 void Engine::bias_sequential_pair(std::uint32_t& a, std::uint32_t b) {
@@ -82,11 +150,15 @@ void Engine::bias_sequential_pair(std::uint32_t& a, std::uint32_t b) {
 
 void Engine::sequential_step() {
   const auto [pa, pb] = rng_.distinct_pair(active_.size());
-  std::uint32_t a = active_[pa];
-  const std::uint32_t b = active_[pb];
+  // Until the first crash, active_ is the identity permutation; skip the
+  // indirection (one dependent load per agent on the hot path).
+  std::uint32_t a = active_identity_ ? static_cast<std::uint32_t>(pa)
+                                     : active_[pa];
+  const std::uint32_t b = active_identity_ ? static_cast<std::uint32_t>(pb)
+                                           : active_[pb];
   bias_sequential_pair(a, b);
   ++interactions_;
-  time_ += 1.0 / static_cast<double>(active_.size());
+  time_ += inv_active_;
   interact(a, b);
 }
 
@@ -130,6 +202,43 @@ void Engine::step() {
     matching_step();
   }
   fire_round_hooks_if_due();
+}
+
+void Engine::run_steps(std::uint64_t k) {
+  // Specialized loop for the plain configuration (sequential scheduler,
+  // cached kernel, no bias, no hooks, no churn so far). Nothing observable
+  // differs from k plain step() calls — the RNG draw order (pair, then
+  // outcome uniform, per step) and all counters are identical — but the
+  // next step's draws happen before the current one resolves, so its
+  // scattered index loads are prefetched while the current step's loads are
+  // still in flight. No hooks can run, so none of the guard conditions can
+  // change mid-loop.
+  if (k == 0) return;
+  const bool plain = scheduler_ == SchedulerKind::kSequential && use_cache_ &&
+                     !bias_ && !injection_.drop_interaction &&
+                     !injection_.on_round && !round_hook_ && active_identity_;
+  if (!plain) {
+    for (std::uint64_t i = 0; i < k; ++i) step();
+    return;
+  }
+  if (pop_.version() != pop_version_seen_) resync_sidx();
+  const std::uint64_t n = active_.size();
+  auto [a, b] = rng_.distinct_pair(n);
+  double u = rng_.uniform();
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const auto ca = static_cast<std::uint32_t>(a);
+    const auto cb = static_cast<std::uint32_t>(b);
+    const double cu = u;
+    if (i + 1 < k) {
+      std::tie(a, b) = rng_.distinct_pair(n);
+      u = rng_.uniform();
+      __builtin_prefetch(&sidx_[a]);
+      __builtin_prefetch(&sidx_[b]);
+    }
+    ++interactions_;
+    time_ += inv_active_;
+    resolve_cached(ca, cb, cu);
+  }
 }
 
 void Engine::run_rounds(double rounds_to_run) {

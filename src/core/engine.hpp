@@ -8,6 +8,7 @@
 #include "core/population.hpp"
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
+#include "core/transition_cache.hpp"
 #include "support/rng.hpp"
 
 namespace popproto {
@@ -27,6 +28,11 @@ class Engine {
   /// One scheduler activation: a single interaction (sequential) or a full
   /// random matching (matching scheduler).
   void step();
+
+  /// Exactly `k` scheduler activations. Equivalent to calling step() k
+  /// times, but the loop stays inside the engine so the per-activation call
+  /// overhead amortizes away (the throughput-measurement entry point).
+  void run_steps(std::uint64_t k);
 
   /// Run for (at least) `rounds` additional units of parallel time.
   void run_rounds(double rounds);
@@ -50,6 +56,15 @@ class Engine {
   /// cadence at the next whole round after the current time.
   using RoundHook = std::function<void(double round, const AgentPopulation&)>;
   void set_round_hook(RoundHook hook);
+
+  /// Toggle the memoized transition kernel (on by default). Both settings
+  /// produce bit-identical trajectories from the same seed — the uncached
+  /// path recomputes the same fused distribution per interaction — so this
+  /// exists for benchmarking and for protocols whose reachable state space
+  /// exceeds the cache cap (which otherwise degrade to per-pair fallback
+  /// automatically; see core/transition_cache.hpp).
+  void set_transition_cache(bool enabled) { use_cache_ = enabled; }
+  const TransitionCache& transition_cache() const { return cache_; }
 
   /// Fault-layer injection points (see core/injection.hpp). Unset hooks
   /// leave the engine's RNG stream and trajectory bit-for-bit unchanged.
@@ -89,15 +104,23 @@ class Engine {
   /// Apply one interaction of the protocol to the ordered pair (a, b),
   /// honouring dropout and rule sampling. Shared by both schedulers.
   void interact(std::uint32_t a, std::uint32_t b);
+  /// Cached-kernel half of interact(): resolve the fused draw `u` on the
+  /// ordered pair via the interned-index shadow. Requires sidx_ in sync.
+  void resolve_cached(std::uint32_t a, std::uint32_t b, double u);
   /// ε-mixture initiator skew for a sequential pair (see SchedulerBias).
   void bias_sequential_pair(std::uint32_t& a, std::uint32_t b);
+  /// Invalidate the interned-index shadow after an external pop_ mutation.
+  void resync_sidx();
 
   const Protocol& protocol_;
   AgentPopulation pop_;
   Rng rng_;
   SchedulerKind scheduler_;
+  TransitionCache cache_;
+  bool use_cache_ = true;
   std::uint64_t interactions_ = 0;
   double time_ = 0.0;
+  double inv_active_ = 0.0;  // 1 / active_.size(), kept in sync with churn
   double last_hook_round_ = 0.0;
   double last_injection_round_ = 0.0;
   RoundHook round_hook_;
@@ -105,6 +128,13 @@ class Engine {
   std::optional<SchedulerBias> bias_;
   std::vector<std::uint32_t> active_;         // scheduled agent ids
   std::vector<std::uint32_t> pos_in_active_;  // agent id -> index in active_
+  // Agent id -> interned state index in cache_ (kNoState when unknown);
+  // a shadow of pop_ that lets interact() skip the State -> index hash.
+  // Trusted while pop_.version() == pop_version_seen_; any mutation that
+  // bypassed interact() triggers a wholesale lazy resync.
+  std::vector<std::uint32_t> sidx_;
+  std::uint64_t pop_version_seen_ = 0;
+  bool active_identity_ = true;  // active_[i] == i (no crash yet)
   std::vector<std::pair<std::uint32_t, std::uint32_t>> matching_buf_;
 };
 

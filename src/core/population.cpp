@@ -24,24 +24,6 @@ void AgentPopulation::rebuild_counts() {
   }
 }
 
-void AgentPopulation::set_state(std::size_t i, State s) {
-  POPPROTO_DCHECK(i < states_.size());
-  State diff = states_[i] ^ s;
-  const State added = diff & s;
-  const State removed = diff & states_[i];
-  State a = added;
-  while (a) {
-    ++var_count_[static_cast<std::size_t>(std::countr_zero(a))];
-    a &= a - 1;
-  }
-  State r = removed;
-  while (r) {
-    --var_count_[static_cast<std::size_t>(std::countr_zero(r))];
-    r &= r - 1;
-  }
-  states_[i] = s;
-}
-
 std::uint64_t AgentPopulation::count_matching(const Guard& g) const {
   if (g.always_true()) return states_.size();
   std::uint64_t c = 0;

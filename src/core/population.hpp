@@ -3,11 +3,13 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "core/expr.hpp"
 #include "core/state.hpp"
+#include "support/check.hpp"
 
 namespace popproto {
 
@@ -20,7 +22,27 @@ class AgentPopulation {
   State state(std::size_t i) const { return states_[i]; }
   const std::vector<State>& states() const { return states_; }
 
-  void set_state(std::size_t i, State s);
+  /// Bumped on every set_state. Lets observers that shadow per-agent data
+  /// (Engine's interned-index array) detect mutations made behind their back
+  /// and revalidate lazily instead of re-checking every access.
+  std::uint64_t version() const { return version_; }
+
+  void set_state(std::size_t i, State s) {
+    POPPROTO_DCHECK(i < states_.size());
+    const State diff = states_[i] ^ s;
+    State a = diff & s;  // added bits
+    while (a) {
+      ++var_count_[static_cast<std::size_t>(std::countr_zero(a))];
+      a &= a - 1;
+    }
+    State r = diff & states_[i];  // removed bits
+    while (r) {
+      --var_count_[static_cast<std::size_t>(std::countr_zero(r))];
+      r &= r - 1;
+    }
+    states_[i] = s;
+    ++version_;
+  }
 
   /// Number of agents with variable v set (O(1), maintained incrementally).
   std::uint64_t count_var(VarId v) const { return var_count_[v]; }
@@ -44,6 +66,7 @@ class AgentPopulation {
 
   std::vector<State> states_;
   std::array<std::uint64_t, kMaxVars> var_count_{};
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace popproto

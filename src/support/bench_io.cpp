@@ -1,0 +1,91 @@
+#include "support/bench_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace popproto {
+
+namespace {
+
+// JSON has no inf/nan; clamp to 0 rather than emit an invalid token.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", finite(v));
+  out += buf;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records) {
+  std::string out;
+  out += "{\n  \"suite\": ";
+  append_string(out, suite);
+  out += ",\n  \"schema_version\": 1,\n  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_string(out, r.name);
+    out += ", \"wall_seconds\": ";
+    append_number(out, r.wall_seconds);
+    out += ", \"interactions_per_sec\": ";
+    append_number(out, r.interactions_per_sec);
+    out += ", \"effective_interactions_per_sec\": ";
+    append_number(out, r.effective_interactions_per_sec);
+    for (const auto& [key, value] : r.extra) {
+      out += ", ";
+      append_string(out, key);
+      out += ": ";
+      append_number(out, value);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write bench results to %s\n",
+                 path.c_str());
+    return false;
+  }
+  f << out;
+  return static_cast<bool>(f);
+}
+
+std::string bench_json_path(const std::string& fallback) {
+  const char* env = std::getenv("POPPROTO_BENCH_OUT");
+  return (env != nullptr && env[0] != '\0') ? std::string(env) : fallback;
+}
+
+}  // namespace popproto

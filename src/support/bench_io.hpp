@@ -1,0 +1,35 @@
+// Machine-readable benchmark results (BENCH_*.json).
+//
+// Perf-sensitive PRs record their throughput measurements as a flat JSON
+// file next to where the bench ran, so runs can be diffed across commits
+// and machines (EXPERIMENTS.md documents the schema and how to compare).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace popproto {
+
+/// One benchmark configuration's measurements. Rates that do not apply to a
+/// configuration stay 0 and are still emitted (schema stability beats
+/// sparseness at this size). `extra` carries configuration-specific counters
+/// (speedup ratios, cache sizes, n, ...) as ordered key/value pairs.
+struct BenchRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  double interactions_per_sec = 0.0;
+  double effective_interactions_per_sec = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Write `{"suite": ..., "schema_version": 1, "records": [...]}` to `path`.
+/// Returns false (with a warning on stderr) when the file cannot be opened;
+/// benches treat that as non-fatal.
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records);
+
+/// Output path for a suite: $POPPROTO_BENCH_OUT when set, else `fallback`.
+std::string bench_json_path(const std::string& fallback);
+
+}  // namespace popproto

@@ -11,12 +11,6 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   // Never allow the all-zero state; splitmix64 seeding guarantees this
   // except for pathological fixed points, which we guard against anyway.
@@ -25,48 +19,15 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) {
-  POPPROTO_DCHECK(bound > 0);
-  // Lemire's unbiased multiply-shift rejection method.
-  std::uint64_t x = (*this)();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+unsigned __int128 Rng::below_slow(std::uint64_t bound, unsigned __int128 m) {
   auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<unsigned __int128>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
+  const std::uint64_t threshold = -bound % bound;
+  while (low < threshold) {
+    const std::uint64_t x = (*this)();
+    m = static_cast<unsigned __int128>(x) * bound;
+    low = static_cast<std::uint64_t>(m);
   }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
-  POPPROTO_DCHECK(lo <= hi);
-  return lo + below(hi - lo + 1);
-}
-
-double Rng::uniform() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
+  return m;
 }
 
 std::uint64_t Rng::geometric(double p) {
@@ -77,14 +38,6 @@ std::uint64_t Rng::geometric(double p) {
   double g = std::floor(std::log(u) / std::log1p(-p));
   if (g < 0) g = 0;
   return static_cast<std::uint64_t>(g);
-}
-
-std::pair<std::uint64_t, std::uint64_t> Rng::distinct_pair(std::uint64_t n) {
-  POPPROTO_DCHECK(n >= 2);
-  const std::uint64_t a = below(n);
-  std::uint64_t b = below(n - 1);
-  if (b >= a) ++b;
-  return {a, b};
 }
 
 Rng Rng::split() {

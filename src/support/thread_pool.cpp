@@ -1,0 +1,36 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace popproto {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
+                        count;)
+      fn(i);
+  };
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) extra.emplace_back(drain);
+  drain();  // the calling thread participates
+  for (auto& t : extra) t.join();
+}
+
+}  // namespace popproto

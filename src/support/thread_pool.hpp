@@ -1,0 +1,33 @@
+// Minimal fork-join worker pool for embarrassingly parallel index spaces.
+//
+// parallel_for(count, fn) runs fn(i) for every i in [0, count) across the
+// pool's threads with dynamic (atomic-counter) scheduling, blocking until
+// all indices ran. Work items therefore execute in nondeterministic order
+// on nondeterministic threads: fn must be thread-safe, must not throw, and
+// deterministic results are the caller's job (write to index-addressed
+// slots, as run_sweep_parallel does).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace popproto {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  unsigned size() const { return threads_; }
+
+  /// Run fn(0), ..., fn(count - 1) to completion. With a single-thread pool
+  /// (or count <= 1) this degenerates to a plain sequential loop on the
+  /// calling thread — no workers are spawned.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace popproto

@@ -135,6 +135,63 @@ TEST(RunSweep, SeedsAreDeterministicAndDistinct) {
   EXPECT_EQ(std::adjacent_find(seeds_a.begin(), seeds_a.end()), seeds_a.end());
 }
 
+// run_sweep_parallel contract: bit-identical rows at any thread count.
+
+void expect_rows_equal(const std::vector<ScalingRow>& a,
+                       const std::vector<ScalingRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].trials, b[i].trials);
+    EXPECT_EQ(a[i].successes, b[i].successes);
+    EXPECT_EQ(a[i].value.count, b[i].value.count);
+    // Exact equality: same seeds, same trial values, same aggregation order.
+    EXPECT_EQ(a[i].value.mean, b[i].value.mean);
+    EXPECT_EQ(a[i].value.stddev, b[i].value.stddev);
+    EXPECT_EQ(a[i].value.min, b[i].value.min);
+    EXPECT_EQ(a[i].value.max, b[i].value.max);
+    EXPECT_EQ(a[i].value.median, b[i].value.median);
+    EXPECT_EQ(a[i].value.p10, b[i].value.p10);
+    EXPECT_EQ(a[i].value.p90, b[i].value.p90);
+  }
+}
+
+TEST(RunSweepParallel, RowsIdenticalToSerialAtAnyThreadCount) {
+  // Seed-dependent values and a failure mode, so both the per-trial seed
+  // chain and the success accounting are checked end to end.
+  const auto fn = [](std::uint64_t n, std::uint64_t seed) {
+    if (seed % 5 == 0) return std::optional<double>();  // deterministic fail
+    return std::optional<double>(static_cast<double>(n) +
+                                 static_cast<double>(seed % 97));
+  };
+  const std::vector<std::uint64_t> ns = {16, 32, 64};
+  const auto serial = run_sweep(ns, 40, 1234, fn);
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    const auto parallel = run_sweep_parallel(ns, 40, 1234, fn, threads);
+    expect_rows_equal(serial, parallel);
+  }
+  // Failure accounting survived the fan-out: some trials failed, not all.
+  for (const auto& row : serial) {
+    EXPECT_EQ(row.trials, 40u);
+    EXPECT_GT(row.successes, 0u);
+    EXPECT_LT(row.successes, 40u);
+    EXPECT_EQ(row.value.count, row.successes);
+  }
+}
+
+TEST(RunSweepParallel, AllTrialsFailingYieldsEmptySummaries) {
+  const auto fn = [](std::uint64_t, std::uint64_t) {
+    return std::optional<double>();
+  };
+  const auto rows = run_sweep_parallel({8, 16}, 6, 9, fn, 4);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.trials, 6u);
+    EXPECT_EQ(row.successes, 0u);
+    EXPECT_EQ(row.value.count, 0u);
+  }
+}
+
 TEST(RowFits, PolylogAndPowerOnSyntheticRows) {
   std::vector<ScalingRow> rows;
   for (const double e : {10.0, 12.0, 14.0, 16.0}) {
