@@ -21,6 +21,7 @@
 #include "clocks/phase_clock.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
+#include "observe/telemetry.hpp"
 #include "protocols/baselines.hpp"
 #include "support/bench_io.hpp"
 
@@ -86,12 +87,17 @@ BenchRecord engine_record(std::string name, const EngineRate& r,
 
 void bench_agent_engine(const Protocol& proto, std::vector<State> init,
                         const std::string& label, std::uint64_t warmup,
-                        std::uint64_t steps, std::vector<BenchRecord>& out) {
+                        std::uint64_t steps, std::vector<BenchRecord>& out,
+                        Telemetry& telemetry) {
   const auto n = static_cast<double>(init.size());
   Engine cached(proto, init, /*seed=*/7);
   Engine uncached(proto, std::move(init), /*seed=*/7);
   uncached.set_transition_cache(false);
   const auto [rc, ru] = time_interleaved(cached, uncached, warmup, steps);
+  // Counter snapshots cover warmup + measured steps; both engines walked the
+  // same trajectory from the same seed, so effective_steps must agree.
+  telemetry.add_counters(cached.counters(), label + ".cached.");
+  telemetry.add_counters(uncached.counters(), label + ".uncached.");
 
   BenchRecord rec = engine_record(label + "_cached", rc, n);
   rec.extra.emplace_back("speedup", rc.ips / ru.ips);
@@ -107,7 +113,8 @@ void bench_agent_engine(const Protocol& proto, std::vector<State> init,
               label.c_str(), rc.ips, ru.ips, rc.ips / ru.ips);
 }
 
-void bench_count_direct(std::uint64_t steps, std::vector<BenchRecord>& out) {
+void bench_count_direct(std::uint64_t steps, std::vector<BenchRecord>& out,
+                        Telemetry& telemetry) {
   const double n = 1 << 20;
   for (const bool use_cache : {true, false}) {
     auto vars = make_var_space();
@@ -128,13 +135,15 @@ void bench_count_direct(std::uint64_t steps, std::vector<BenchRecord>& out) {
     rec.effective_interactions_per_sec =
         static_cast<double>(eng.effective_interactions()) / wall;
     rec.extra.emplace_back("n", n);
+    telemetry.add_counters(eng.counters(), rec.name + ".");
     out.push_back(rec);
     std::printf("%-32s %12.3g int/s\n", rec.name.c_str(),
                 rec.interactions_per_sec);
   }
 }
 
-void bench_count_skip(std::uint64_t reps, std::vector<BenchRecord>& out) {
+void bench_count_skip(std::uint64_t reps, std::vector<BenchRecord>& out,
+                      Telemetry& telemetry) {
   // DV12 exact majority from a near-tie at n = 2^16: late-stage sparse
   // dynamics, the skip-ahead showcase. One rep = run to silence.
   double wall = 0.0;
@@ -154,6 +163,9 @@ void bench_count_skip(std::uint64_t reps, std::vector<BenchRecord>& out) {
     wall += now_seconds() - t0;
     interactions += eng.interactions();
     effective += eng.effective_interactions();
+    // Last rep's snapshot stands in for all reps (identical setup, new seed).
+    if (r + 1 == reps)
+      telemetry.add_counters(eng.counters(), "count_skip_dv12.");
   }
   BenchRecord rec;
   rec.name = "count_skip_dv12_to_silence";
@@ -170,6 +182,8 @@ void bench_count_skip(std::uint64_t reps, std::vector<BenchRecord>& out) {
 int run(bool smoke) {
   const std::uint64_t scale = smoke ? 8 : 1;
   std::vector<BenchRecord> records;
+  Telemetry telemetry("bench_kernel");
+  telemetry.add_counter("smoke", smoke ? 1.0 : 0.0);
 
   {
     // The acceptance configuration: bitmask phase clock (two threads, ~60
@@ -179,7 +193,7 @@ int run(bool smoke) {
     bench_agent_engine(proto,
                        phase_clock_initial_states(1 << 16, 1 << 6, *vars),
                        "phase_clock_n65536", (1 << 18) / scale,
-                       (std::uint64_t{1} << 23) / scale, records);
+                       (std::uint64_t{1} << 23) / scale, records, telemetry);
   }
   {
     auto vars = make_var_space();
@@ -192,14 +206,20 @@ int run(bool smoke) {
                     : oscillator_state(static_cast<int>(i % 3), 0, *vars);
     bench_agent_engine(proto, std::move(init), "oscillator_n65536",
                        (1 << 16) / scale, (std::uint64_t{1} << 23) / scale,
-                       records);
+                       records, telemetry);
   }
-  bench_count_direct((std::uint64_t{1} << 23) / scale, records);
-  bench_count_skip(smoke ? 2 : 8, records);
+  bench_count_direct((std::uint64_t{1} << 23) / scale, records, telemetry);
+  bench_count_skip(smoke ? 2 : 8, records, telemetry);
 
   const std::string path = bench_json_path("BENCH_engine.json");
   if (!write_bench_json(path, "bench_kernel", records)) return 1;
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+
+  telemetry.capture_profile();
+  const std::string tpath = telemetry_json_path("TELEMETRY_kernel.json");
+  if (!telemetry.write_json(tpath)) return 1;
+  std::printf("wrote %s (%zu counters)\n", tpath.c_str(),
+              telemetry.counters().size());
   return 0;
 }
 

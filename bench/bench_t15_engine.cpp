@@ -8,10 +8,13 @@
 // perf can be tracked across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "clocks/hierarchy.hpp"
 #include "clocks/oscillator.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
+#include "observe/telemetry.hpp"
 #include "protocols/baselines.hpp"
 #include "support/bench_io.hpp"
 
@@ -122,6 +125,42 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
   std::vector<BenchRecord> records;
 };
 
+// Companion TELEMETRY export: the google-benchmark rates as flat counters
+// plus an engine counter snapshot from one short instrumented run (approx
+// majority to consensus — exercises the cache, convergence detection, and
+// the event trace without perturbing the timed loops above).
+void export_telemetry(const std::vector<BenchRecord>& records) {
+  Telemetry telemetry("bench_t15_engine");
+  for (const BenchRecord& rec : records)
+    telemetry.add_counter(rec.name + ".ips", rec.interactions_per_sec);
+
+  auto vars = make_var_space();
+  const Protocol p = make_approximate_majority_protocol(vars);
+  const State a = var_bit(*vars->find("BA"));
+  const State b = var_bit(*vars->find("BB"));
+  std::vector<State> init(1 << 12);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = i < init.size() * 5 / 8 ? a : b;
+  Engine eng(p, std::move(init), /*seed=*/0x715);
+  EventTrace trace;
+  eng.set_event_trace(&trace);
+  eng.run_until(
+      [&](const AgentPopulation& pop) {
+        return pop.count_var(*vars->find("BA")) == 0 ||
+               pop.count_var(*vars->find("BB")) == 0;
+      },
+      /*max_rounds=*/400.0);
+  telemetry.add_counters(eng.counters(), "probe.");
+  telemetry.add_events(trace);
+  telemetry.capture_profile();
+
+  const std::string path =
+      telemetry_json_path("TELEMETRY_t15_engine.json");
+  if (telemetry.write_json(path))
+    std::printf("wrote %s (%zu counters)\n", path.c_str(),
+                telemetry.counters().size());
+}
+
 }  // namespace
 }  // namespace popproto
 
@@ -133,5 +172,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   popproto::write_bench_json(popproto::bench_json_path("BENCH_engine.json"),
                              "bench_t15_engine", reporter.records);
+  popproto::export_telemetry(reporter.records);
   return 0;
 }

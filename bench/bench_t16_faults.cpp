@@ -24,6 +24,7 @@
 #include "clocks/phase_clock.hpp"
 #include "core/count_engine.hpp"
 #include "faults/injector.hpp"
+#include "observe/telemetry.hpp"
 
 using namespace popproto;
 
@@ -32,7 +33,10 @@ namespace {
 /// Corrupt 75% of a converged bitmask oscillator and return the recovery
 /// time in *undiluted* rounds (the protocol samples one of its num_rules
 /// rules u.a.r. per interaction, so engine time dilates by num_rules).
-std::optional<double> oscillator_trial(std::uint64_t n, std::uint64_t seed) {
+/// `trace`, when given, receives the engine's corruption event and the
+/// probe's fault/violation/recovery lifecycle (telemetry export).
+std::optional<double> oscillator_trial(std::uint64_t n, std::uint64_t seed,
+                                       EventTrace* trace = nullptr) {
   auto vars = make_var_space();
   const Protocol proto = make_oscillator_protocol(vars);
   const double dil = static_cast<double>(proto.num_rules());
@@ -46,6 +50,7 @@ std::optional<double> oscillator_trial(std::uint64_t n, std::uint64_t seed) {
   init.emplace_back(oscillator_state(1, 0, *vars), minority);
   init.emplace_back(oscillator_state(2, 0, *vars), minority);
   CountEngine eng(proto, std::move(init), seed);
+  eng.set_event_trace(trace);
   eng.run_rounds(10.0 * dil);
 
   const double thr = std::pow(static_cast<double>(n), 0.75);
@@ -65,6 +70,7 @@ std::optional<double> oscillator_trial(std::uint64_t n, std::uint64_t seed) {
   injector.attach(eng);
 
   RecoveryProbe probe(/*stable_for=*/1.0 * dil);
+  probe.set_event_trace(trace);
   probe.on_fault(burst);
   eng.run_rounds(2.0);  // past the burst boundary
   probe.observe(eng.rounds(), healthy());
@@ -82,7 +88,8 @@ std::optional<double> oscillator_trial(std::uint64_t n, std::uint64_t seed) {
 
 /// Scramble the believers of 75% of a ticking phase clock's agents and
 /// return rounds until composite coherence (spread <= 1) restabilizes.
-std::optional<double> clock_trial(std::uint64_t n, std::uint64_t seed) {
+std::optional<double> clock_trial(std::uint64_t n, std::uint64_t seed,
+                                  EventTrace* trace = nullptr) {
   PhaseClockSim sim(n, /*x_count=*/9, seed);
   sim.run_rounds(300.0);  // past startup: ticking well underway
   for (int extra = 0; extra < 3 && sim.composite_spread() > 1; ++extra)
@@ -91,6 +98,7 @@ std::optional<double> clock_trial(std::uint64_t n, std::uint64_t seed) {
 
   Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
   RecoveryProbe probe(/*stable_for=*/2.0);
+  probe.set_event_trace(trace);
   probe.on_fault(sim.rounds());
   sim.scramble(0.75, rng, /*max_digit_offset=*/0);
   probe.observe(sim.rounds(), sim.composite_spread() <= 1);
@@ -120,10 +128,12 @@ int main(int argc, char** argv) {
     ns.push_back(1ull << e);
   const std::size_t trials = scaled(3, ctx);
 
-  const std::vector<ScalingRow> osc_rows =
-      run_sweep_parallel(ns, trials, 0x7316, oscillator_trial);
-  const std::vector<ScalingRow> clk_rows =
-      run_sweep_parallel(ns, trials, 0x7316, clock_trial);
+  const std::vector<ScalingRow> osc_rows = run_sweep_parallel(
+      ns, trials, 0x7316,
+      [](std::uint64_t n, std::uint64_t s) { return oscillator_trial(n, s); });
+  const std::vector<ScalingRow> clk_rows = run_sweep_parallel(
+      ns, trials, 0x7316,
+      [](std::uint64_t n, std::uint64_t s) { return clock_trial(n, s); });
 
   Table t(scaling_headers({"protocol", "median/ln n"}));
   for (const auto* rows : {&osc_rows, &clk_rows}) {
@@ -142,5 +152,25 @@ int main(int argc, char** argv) {
             << "   [paper: O(log n), Thm 5.1]\n";
   std::cout << "phase clock recovery " << describe_polylog(clk_fit)
             << "   [paper: O(log n), Thm 5.2]\n";
+
+  // Telemetry: the sweep aggregates plus one instrumented representative
+  // trial per protocol, so the exported event stream shows a full
+  // fault → violation → recovery lifecycle at mid-sweep n.
+  Telemetry telemetry("bench_t16_faults");
+  add_sweep_counters(telemetry, osc_rows, "oscillator.");
+  add_sweep_counters(telemetry, clk_rows, "phase_clock.");
+  telemetry.add_counter("fit.oscillator.coefficient", osc_fit.coefficient);
+  telemetry.add_counter("fit.oscillator.r_squared", osc_fit.r_squared);
+  telemetry.add_counter("fit.phase_clock.coefficient", clk_fit.coefficient);
+  telemetry.add_counter("fit.phase_clock.r_squared", clk_fit.r_squared);
+  EventTrace trace;
+  oscillator_trial(1 << 14, 0x7316, &trace);
+  clock_trial(1 << 12, 0x7316, &trace);
+  telemetry.add_events(trace);
+  telemetry.capture_profile();
+  const std::string tpath = telemetry_json_path("TELEMETRY_t16_faults.json");
+  if (telemetry.write_json(tpath))
+    std::cout << "wrote " << tpath << " (" << telemetry.events().size()
+              << " events)\n";
   return 0;
 }

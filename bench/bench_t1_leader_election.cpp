@@ -8,6 +8,7 @@
 
 #include "analysis/report.hpp"
 #include "lang/runtime.hpp"
+#include "observe/telemetry.hpp"
 #include "protocols/leader_election.hpp"
 
 using namespace popproto;
@@ -65,5 +66,20 @@ int main(int argc, char** argv) {
             << "   [paper: Θ(log n)]\n";
   std::cout << "rounds     " << describe_polylog(fit_rd)
             << "   [paper: Θ(log^2 n)]\n";
+
+  Telemetry telemetry("bench_t1_leader_election");
+  telemetry.add_counter("trials_per_n", static_cast<double>(trials));
+  add_sweep_counters(telemetry, iteration_rows, "iterations.");
+  add_sweep_counters(telemetry, round_rows, "rounds.");
+  telemetry.add_counter("fit.iterations.power", fit_it.power);
+  telemetry.add_counter("fit.iterations.r_squared", fit_it.r_squared);
+  telemetry.add_counter("fit.rounds.power", fit_rd.power);
+  telemetry.add_counter("fit.rounds.r_squared", fit_rd.r_squared);
+  telemetry.capture_profile();
+  const std::string tpath =
+      telemetry_json_path("TELEMETRY_t1_leader_election.json");
+  if (telemetry.write_json(tpath))
+    std::cout << "wrote " << tpath << " (" << telemetry.counters().size()
+              << " counters)\n";
   return 0;
 }

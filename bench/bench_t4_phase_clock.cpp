@@ -8,6 +8,7 @@
 
 #include "analysis/report.hpp"
 #include "clocks/phase_clock.hpp"
+#include "observe/telemetry.hpp"
 #include "support/stats.hpp"
 
 using namespace popproto;
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
 
   Table t({"n", "#X", "tick interval (median)", "interval p10", "interval p90",
            "interval/ln n", "max digit spread", "ticks observed"});
+  Telemetry telemetry("bench_t4_phase_clock");
+  EventTrace trace;
   std::vector<double> ns_fit, interval_fit;
   for (const int e : {11, 13, 15, ctx.scale >= 2.0 ? 18 : 17}) {
     const std::size_t n = 1ull << e;
@@ -41,8 +44,17 @@ int main(int argc, char** argv) {
     std::vector<double> intervals;
     for (std::size_t i = std::max<std::size_t>(skip, 1); i < times.size(); ++i)
       intervals.push_back(times[i] - times[i - 1]);
+    // Post-synchronization ticks, stamped with the population size so the
+    // per-n streams stay separable in the merged trace.
+    for (std::size_t i = std::max<std::size_t>(skip, 1); i < times.size(); ++i)
+      trace.push(EventKind::kPhaseTick, times[i], static_cast<double>(n));
     const Summary s = summarize(intervals);
     const double ln_n = std::log(static_cast<double>(n));
+    const std::string key = "n" + std::to_string(n) + ".";
+    telemetry.add_counter(key + "ticks", static_cast<double>(intervals.size()));
+    telemetry.add_counter(key + "interval_median", s.median);
+    telemetry.add_counter(key + "interval_p90", s.p90);
+    telemetry.add_counter(key + "max_digit_spread", max_spread);
     t.row()
         .add(static_cast<std::uint64_t>(n))
         .add(static_cast<std::uint64_t>(x))
@@ -62,5 +74,16 @@ int main(int argc, char** argv) {
             << format_double(f.intercept, 1)
             << " (R^2=" << format_double(f.r_squared, 3)
             << ")   [paper: Θ(log n)]\n";
+
+  telemetry.add_counter("fit.slope", f.slope);
+  telemetry.add_counter("fit.intercept", f.intercept);
+  telemetry.add_counter("fit.r_squared", f.r_squared);
+  telemetry.add_events(trace);
+  telemetry.capture_profile();
+  const std::string tpath =
+      telemetry_json_path("TELEMETRY_t4_phase_clock.json");
+  if (telemetry.write_json(tpath))
+    std::cout << "wrote " << tpath << " (" << telemetry.events().size()
+              << " tick events)\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "analysis/experiment.hpp"
 
+#include "observe/profile.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -9,6 +10,7 @@ namespace popproto {
 std::vector<ScalingRow> run_sweep(const std::vector<std::uint64_t>& ns,
                                   std::size_t trials, std::uint64_t seed,
                                   const TrialFn& fn) {
+  POPPROTO_PROFILE_SCOPE("sweep/serial");
   POPPROTO_CHECK(trials >= 1);
   std::vector<ScalingRow> rows;
   std::uint64_t sm = seed;
@@ -34,6 +36,7 @@ std::vector<ScalingRow> run_sweep_parallel(const std::vector<std::uint64_t>& ns,
                                            std::size_t trials,
                                            std::uint64_t seed, const TrialFn& fn,
                                            unsigned num_threads) {
+  POPPROTO_PROFILE_SCOPE("sweep/parallel");
   POPPROTO_CHECK(trials >= 1);
   // Precompute the exact seed chain run_sweep would walk: one splitmix64
   // stream across all (n, trial) cells in row-major order. Fanning the cells
@@ -84,15 +87,32 @@ void medians(const std::vector<ScalingRow>& rows, std::vector<double>& ns,
 
 PolylogChoice fit_rows_polylog(const std::vector<ScalingRow>& rows,
                                int max_power) {
+  POPPROTO_PROFILE_SCOPE("fit/polylog");
   std::vector<double> ns, ys;
   medians(rows, ns, ys);
   return best_polylog_power(ns, ys, max_power);
 }
 
 LinearFit fit_rows_power(const std::vector<ScalingRow>& rows) {
+  POPPROTO_PROFILE_SCOPE("fit/power");
   std::vector<double> ns, ys;
   medians(rows, ns, ys);
   return fit_power_law(ns, ys);
+}
+
+void add_sweep_counters(Telemetry& telemetry,
+                        const std::vector<ScalingRow>& rows,
+                        const std::string& prefix) {
+  for (const auto& r : rows) {
+    const std::string base = prefix + "n" + std::to_string(r.n) + ".";
+    telemetry.add_counter(base + "trials", static_cast<double>(r.trials));
+    telemetry.add_counter(base + "successes",
+                          static_cast<double>(r.successes));
+    if (r.successes == 0) continue;
+    telemetry.add_counter(base + "median", r.value.median);
+    telemetry.add_counter(base + "mean", r.value.mean);
+    telemetry.add_counter(base + "p90", r.value.p90);
+  }
 }
 
 std::vector<std::uint64_t> pow2_range(int lo, int hi) {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "observe/telemetry.hpp"
 #include "support/fitting.hpp"
 #include "support/stats.hpp"
 
@@ -50,5 +51,12 @@ LinearFit fit_rows_power(const std::vector<ScalingRow>& rows);
 
 /// Geometric n-range 2^lo .. 2^hi.
 std::vector<std::uint64_t> pow2_range(int lo, int hi);
+
+/// Flatten sweep rows into telemetry counters: per row
+/// `<prefix>n<N>.{trials,successes,median,mean,p90}`. Keeps the TELEMETRY
+/// files self-contained (one flat counter map) without a second row schema.
+void add_sweep_counters(Telemetry& telemetry,
+                        const std::vector<ScalingRow>& rows,
+                        const std::string& prefix);
 
 }  // namespace popproto

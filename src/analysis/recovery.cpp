@@ -9,6 +9,7 @@ void RecoveryProbe::on_fault(double round) {
   // The perturbation invalidates any healthy streak in progress: recovery
   // is measured from post-fault observations only.
   healthy_since_.reset();
+  if (trace_) trace_->push(EventKind::kFaultInjected, round, 1.0);
 }
 
 void RecoveryProbe::observe(double round, bool healthy) {
@@ -29,12 +30,19 @@ void RecoveryProbe::observe(double round, bool healthy) {
   if (events_.empty()) return;
   RecoveryEvent& e = events_.back();
   if (e.recovered()) return;
-  if (!healthy && !e.violated_round && round >= e.fault_round)
+  if (!healthy && !e.violated_round && round >= e.fault_round) {
     e.violated_round = round;
+    if (trace_)
+      trace_->push(EventKind::kViolationObserved, round,
+                   round - e.fault_round);
+  }
   if (healthy_since_ && round - *healthy_since_ >= stable_for_) {
     // The stretch start is clamped to the fault time: health inherited from
     // before the burst cannot predate it.
     e.recovered_round = std::max(*healthy_since_, e.fault_round);
+    if (trace_)
+      trace_->push(EventKind::kRecoveryComplete, *e.recovered_round,
+                   e.recovery_time());
   }
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "observe/event_trace.hpp"
 #include "support/stats.hpp"
 
 namespace popproto {
@@ -65,10 +66,16 @@ class RecoveryProbe {
   /// or nullopt when it never restabilized (feeds TrialFn directly).
   std::optional<double> last_recovery_time() const;
 
+  /// Mirror the probe's lifecycle into a telemetry trace (not owned):
+  /// fault_injected on each burst, violation_observed on the first failed
+  /// observation, recovery_complete (value = recovery time) on settle.
+  void set_event_trace(EventTrace* trace) { trace_ = trace; }
+
  private:
   double stable_for_;
   std::vector<RecoveryEvent> events_;
   std::optional<double> healthy_since_;  // start of current healthy stretch
+  EventTrace* trace_ = nullptr;
 };
 
 }  // namespace popproto

@@ -117,6 +117,9 @@ std::uint64_t CountEngine::crash_random(std::uint64_t k, Rng& rng) {
     ++crashed_n_;
     ++moved;
   }
+  ctr_.crash_events += moved;
+  if (trace_ && moved > 0)
+    trace_->push(EventKind::kChurnCrash, time_, static_cast<double>(moved));
   return moved;
 }
 
@@ -136,6 +139,9 @@ std::uint64_t CountEngine::rejoin_random(std::uint64_t k, Rng& rng) {
     ++moved;
   }
   if (moved > 0) silent_ = false;  // stale state may re-enable rules
+  ctr_.rejoin_events += moved;
+  if (trace_ && moved > 0)
+    trace_->push(EventKind::kChurnRejoin, time_, static_cast<double>(moved));
   return moved;
 }
 
@@ -148,6 +154,9 @@ std::uint64_t CountEngine::rejoin_all() {
   crashed_n_ = 0;
   crashed_.clear();
   if (moved > 0) silent_ = false;
+  ctr_.rejoin_events += moved;
+  if (trace_ && moved > 0)
+    trace_->push(EventKind::kChurnRejoin, time_, static_cast<double>(moved));
   return moved;
 }
 
@@ -185,6 +194,10 @@ std::uint64_t CountEngine::mutate_random_agents(
     }
   }
   if (rewritten > 0) silent_ = false;
+  ctr_.corrupted_agents += rewritten;
+  if (trace_ && k > 0)
+    trace_->push(EventKind::kFaultInjected, time_,
+                 static_cast<double>(rewritten));
   return k;
 }
 
@@ -216,7 +229,10 @@ void CountEngine::direct_step() {
   ++window_steps_;
   time_ += 1.0 / static_cast<double>(n_);
 
-  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) {
+    ++ctr_.dropped_interactions;
+    return;
+  }
 
   // One fused draw covers thread choice (incl. empty-thread padding mass),
   // rule choice, and the outcome coin; see core/transition_cache.hpp.
@@ -268,6 +284,8 @@ bool CountEngine::skip_step() {
   }
   const std::uint64_t skip = rng_.geometric(std::min(events_total_weight_, 1.0));
   interactions_ += skip + 1;
+  ++ctr_.skip_jumps;
+  ctr_.skipped_interactions += skip;
   time_ += static_cast<double>(skip + 1) / static_cast<double>(n_);
 
   double u = rng_.uniform() * events_total_weight_;
@@ -282,8 +300,10 @@ bool CountEngine::skip_step() {
   // Interaction dropout thins the effective process: a dropped effective
   // interaction is a no-op, and by memorylessness the retry chain composes
   // to the exact Geometric(w * (1 - p)) law.
-  if (injection_.drop_interaction && injection_.drop_interaction(rng_))
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) {
+    ++ctr_.dropped_interactions;
     return true;
+  }
   apply_change(chosen->species_a, chosen->species_b);
   return true;
 }
@@ -322,8 +342,11 @@ void CountEngine::run_rounds(double rounds_to_run) {
     if (injection_.on_round)
       limit = std::min(limit, last_injection_round_ + 1.0);
     if (silent_) {
-      interactions_ += static_cast<std::uint64_t>(
+      const auto bulk = static_cast<std::uint64_t>(
           std::llround((limit - time_) * static_cast<double>(n_)));
+      interactions_ += bulk;
+      ++ctr_.skip_jumps;
+      ctr_.skipped_interactions += bulk;
       time_ = limit;  // nothing can change; fast-forward
       maybe_fire_injection();
       continue;
@@ -339,13 +362,18 @@ void CountEngine::run_rounds(double rounds_to_run) {
       const double landing =
           time_ + static_cast<double>(skip + 1) / static_cast<double>(n_);
       if (landing > limit) {
-        interactions_ += static_cast<std::uint64_t>(
+        const auto bulk = static_cast<std::uint64_t>(
             std::llround((limit - time_) * static_cast<double>(n_)));
+        interactions_ += bulk;
+        ++ctr_.skip_jumps;
+        ctr_.skipped_interactions += bulk;
         time_ = limit;
         maybe_fire_injection();
         continue;
       }
       interactions_ += skip + 1;
+      ++ctr_.skip_jumps;
+      ctr_.skipped_interactions += skip;
       time_ = landing;
       double u = rng_.uniform() * events_total_weight_;
       const Event* chosen = &events_.back();
@@ -356,8 +384,11 @@ void CountEngine::run_rounds(double rounds_to_run) {
         }
         u -= e.weight;
       }
-      if (!(injection_.drop_interaction && injection_.drop_interaction(rng_)))
+      if (injection_.drop_interaction && injection_.drop_interaction(rng_)) {
+        ++ctr_.dropped_interactions;
+      } else {
         apply_change(chosen->species_a, chosen->species_b);
+      }
       // Re-evaluate auto switching.
       if (mode_ == CountEngineMode::kAuto &&
           events_total_weight_ > kSwitchToDirectAbove)
@@ -373,15 +404,29 @@ std::optional<double> CountEngine::run_until(
     const std::function<bool(const CountEngine&)>& predicate, double max_rounds,
     double check_interval) {
   POPPROTO_CHECK(check_interval > 0.0);
-  if (predicate(*this)) return rounds();
+  if (predicate(*this)) {
+    if (trace_) trace_->push(EventKind::kConvergenceDetected, rounds());
+    return rounds();
+  }
   while (rounds() < max_rounds) {
     run_rounds(check_interval);
-    if (predicate(*this)) return rounds();
+    if (predicate(*this)) {
+      if (trace_) trace_->push(EventKind::kConvergenceDetected, rounds());
+      return rounds();
+    }
     // A silent configuration can only change if a fault schedule may still
     // perturb it.
     if (silent_ && !injection_.on_round) return std::nullopt;
   }
   return std::nullopt;
+}
+
+EngineCounters CountEngine::counters() const {
+  EngineCounters c = ctr_;
+  c.interactions = interactions_;
+  c.effective_steps = effective_;
+  c.cache_builds = cache_.builds();
+  return c;
 }
 
 std::uint64_t CountEngine::count_state(State s) const {

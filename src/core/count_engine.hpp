@@ -28,6 +28,8 @@
 #include "core/injection.hpp"
 #include "core/protocol.hpp"
 #include "core/transition_cache.hpp"
+#include "observe/counters.hpp"
+#include "observe/event_trace.hpp"
 #include "support/rng.hpp"
 
 namespace popproto {
@@ -103,6 +105,14 @@ class CountEngine {
   /// Crashed agents' frozen states, by species.
   std::vector<std::pair<State, std::uint64_t>> crashed_species() const;
 
+  // -- Observability (src/observe/, DESIGN.md §7) ---------------------------
+  /// Telemetry counter snapshot (cheap tier; skip-ahead jump statistics,
+  /// churn/corruption tallies and cache builds included).
+  EngineCounters counters() const;
+  /// Attach (or detach, with nullptr) a structured event sink for churn,
+  /// corruption and run_until convergence events. Not owned.
+  void set_event_trace(EventTrace* trace) { trace_ = trace; }
+
   double rounds() const { return time_; }
   std::uint64_t interactions() const { return interactions_; }
   std::uint64_t effective_interactions() const { return effective_; }
@@ -149,6 +159,10 @@ class CountEngine {
   std::uint64_t effective_ = 0;
   double time_ = 0.0;
   double last_injection_round_ = 0.0;
+  // Telemetry tallies (interactions_/effective_ stay the master counts;
+  // counters() merges them in).
+  EngineCounters ctr_;
+  EventTrace* trace_ = nullptr;
   InjectionHook injection_;
   std::optional<SchedulerBias> bias_;
   std::vector<std::pair<State, std::uint64_t>> crashed_;

@@ -50,6 +50,8 @@ void Engine::crash_agent(std::size_t i) {
   pos_in_active_[i] = kNotActive;
   inv_active_ = 1.0 / static_cast<double>(active_.size());
   active_identity_ = false;
+  ++ctr_.crash_events;
+  if (trace_) trace_->push(EventKind::kChurnCrash, time_, 1.0);
 }
 
 void Engine::rejoin_agent(std::size_t i) {
@@ -58,6 +60,8 @@ void Engine::rejoin_agent(std::size_t i) {
   pos_in_active_[i] = static_cast<std::uint32_t>(active_.size());
   active_.push_back(static_cast<std::uint32_t>(i));
   inv_active_ = 1.0 / static_cast<double>(active_.size());
+  ++ctr_.rejoin_events;
+  if (trace_) trace_->push(EventKind::kChurnRejoin, time_, 1.0);
 }
 
 void Engine::rejoin_agent(std::size_t i, State fresh) {
@@ -86,6 +90,11 @@ void Engine::resolve_cached(std::uint32_t a, std::uint32_t b, double u) {
     const IndexedPair r = cache_.sample_indexed(ia, ib, u);
     if (r.a != TransitionCache::kNoState &&
         r.b != TransitionCache::kNoState) [[likely]] {
+#ifdef POPPROTO_PROFILE
+      ++ctr_.cache_hits;  // detailed tier: per-draw accounting
+#endif
+      if (r.a == ia && r.b == ib) [[likely]]
+        return;
       if (r.a != ia) {
         pop_.set_state(a, cache_.state_at(r.a));
         sidx_[a] = r.a;
@@ -96,14 +105,17 @@ void Engine::resolve_cached(std::uint32_t a, std::uint32_t b, double u) {
         sidx_[b] = r.b;
         ++pop_version_seen_;
       }
+      ++ctr_.effective_steps;
       return;
     }
   }
   // Cap overflow on an input or result state: resolve by value. sidx_
   // entries for changed agents are reset so the miss path relearns them.
+  ++ctr_.cache_fallbacks;
   const State sa = pop_.state(a);
   const State sb = pop_.state(b);
   const PairOutcome o = cache_.sample(sa, sb, u);
+  if (o.a != sa || o.b != sb) ++ctr_.effective_steps;
   if (o.a != sa) {
     pop_.set_state(a, o.a);
     sidx_[a] = TransitionCache::kNoState;
@@ -117,7 +129,10 @@ void Engine::resolve_cached(std::uint32_t a, std::uint32_t b, double u) {
 }
 
 void Engine::interact(std::uint32_t a, std::uint32_t b) {
-  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) return;
+  if (injection_.drop_interaction && injection_.drop_interaction(rng_)) {
+    ++ctr_.dropped_interactions;
+    return;
+  }
   // One fused draw covers thread choice, rule choice, and the outcome coin
   // (core/transition_cache.hpp); both kernel paths resolve it identically.
   const double u = rng_.uniform();
@@ -133,6 +148,7 @@ void Engine::interact(std::uint32_t a, std::uint32_t b) {
   const State sa = pop_.state(a);
   const State sb = pop_.state(b);
   const PairOutcome o = cache_.sample_uncached(sa, sb, u);
+  if (o.a != sa || o.b != sb) ++ctr_.effective_steps;
   if (o.a != sa) pop_.set_state(a, o.a);
   if (o.b != sb) pop_.set_state(b, o.b);
 }
@@ -250,12 +266,25 @@ std::optional<double> Engine::run_until(
     const std::function<bool(const AgentPopulation&)>& predicate,
     double max_rounds, double check_interval) {
   POPPROTO_CHECK(check_interval > 0.0);
-  if (predicate(pop_)) return rounds();
+  if (predicate(pop_)) {
+    if (trace_) trace_->push(EventKind::kConvergenceDetected, rounds());
+    return rounds();
+  }
   while (rounds() < max_rounds) {
     run_rounds(check_interval);
-    if (predicate(pop_)) return rounds();
+    if (predicate(pop_)) {
+      if (trace_) trace_->push(EventKind::kConvergenceDetected, rounds());
+      return rounds();
+    }
   }
   return std::nullopt;
+}
+
+EngineCounters Engine::counters() const {
+  EngineCounters c = ctr_;
+  c.interactions = interactions_;
+  c.cache_builds = cache_.builds();
+  return c;
 }
 
 }  // namespace popproto

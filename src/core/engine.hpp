@@ -9,6 +9,8 @@
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
 #include "core/transition_cache.hpp"
+#include "observe/counters.hpp"
+#include "observe/event_trace.hpp"
 #include "support/rng.hpp"
 
 namespace popproto {
@@ -88,6 +90,15 @@ class Engine {
   /// Ids of currently scheduled agents (order is internal, not stable).
   const std::vector<std::uint32_t>& active_agents() const { return active_; }
 
+  // -- Observability (src/observe/, DESIGN.md §7) ---------------------------
+  /// Telemetry counter snapshot: engine-side tallies merged with the
+  /// transition cache's build count. Cheap tier is always maintained;
+  /// cache_hits stays 0 unless built with POPPROTO_PROFILE.
+  EngineCounters counters() const;
+  /// Attach (or, with nullptr, detach) a structured event sink. The engine
+  /// pushes churn events and run_until convergence; it never owns the trace.
+  void set_event_trace(EventTrace* trace) { trace_ = trace; }
+
   double rounds() const { return time_; }
   std::uint64_t interactions() const { return interactions_; }
   const AgentPopulation& population() const { return pop_; }
@@ -125,6 +136,10 @@ class Engine {
   double last_injection_round_ = 0.0;
   RoundHook round_hook_;
   InjectionHook injection_;
+  // Telemetry tallies (interactions_ stays the master interaction count;
+  // counters() merges it in). Maintained only on slow/branchy paths.
+  EngineCounters ctr_;
+  EventTrace* trace_ = nullptr;
   std::optional<SchedulerBias> bias_;
   std::vector<std::uint32_t> active_;         // scheduled agent ids
   std::vector<std::uint32_t> pos_in_active_;  // agent id -> index in active_

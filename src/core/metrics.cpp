@@ -9,9 +9,22 @@ VarTrace::VarTrace(std::vector<VarId> vars, double interval_rounds)
   POPPROTO_CHECK(interval_ > 0.0);
 }
 
+void VarTrace::advance_grid(double round) {
+  // Snap the next due time to the fixed grid {0, Δ, 2Δ, ...} rather than to
+  // `round + Δ`: hooks fire slightly *after* each grid point (whole-round
+  // boundaries, check intervals), and anchoring on the observation time
+  // would compound that offset into a per-sample drift of Δ + (hook
+  // granularity). Catch up past `round` so a sparse observation stream
+  // (skip-ahead jumps, coarse check intervals) never records a backlog of
+  // overdue points at one instant.
+  do {
+    next_due_ += interval_;
+  } while (next_due_ <= round);
+}
+
 void VarTrace::record(double round, const AgentPopulation& pop) {
   if (round < next_due_) return;
-  next_due_ = round + interval_;
+  advance_grid(round);
   TracePoint p;
   p.round = round;
   p.counts.reserve(vars_.size());
@@ -21,9 +34,14 @@ void VarTrace::record(double round, const AgentPopulation& pop) {
 
 void VarTrace::record_counts(double round, std::vector<std::uint64_t> counts) {
   if (round < next_due_) return;
-  next_due_ = round + interval_;
+  advance_grid(round);
   POPPROTO_CHECK(counts.size() == vars_.size());
   points_.push_back(TracePoint{round, std::move(counts)});
+}
+
+void VarTrace::reset() {
+  next_due_ = 0.0;
+  points_.clear();
 }
 
 std::pair<std::uint64_t, std::uint64_t> VarTrace::range(

@@ -14,9 +14,12 @@ struct TracePoint {
   std::vector<std::uint64_t> counts;
 };
 
-/// Records counts of a fixed set of variables at (approximately) regular
-/// parallel-time intervals. Attach via Engine::set_round_hook or call
-/// record() manually from any simulation loop.
+/// Records counts of a fixed set of variables on the fixed parallel-time
+/// grid {interval, 2·interval, ...} anchored at 0: each grid point is
+/// served by the first observation at or after it, so sample spacing stays
+/// `interval` on average regardless of how irregularly the caller observes
+/// (round hooks, skip-ahead jumps). Attach via Engine::set_round_hook or
+/// call record() manually from any simulation loop.
 class VarTrace {
  public:
   VarTrace(std::vector<VarId> vars, double interval_rounds = 1.0);
@@ -25,6 +28,10 @@ class VarTrace {
   /// Record from raw counts (for count-engine / clock-machine callers).
   void record_counts(double round, std::vector<std::uint64_t> counts);
 
+  /// Drop all points and re-anchor the grid at 0, so one trace can be
+  /// reused across seeded trials without stale due-times leaking over.
+  void reset();
+
   const std::vector<TracePoint>& points() const { return points_; }
   const std::vector<VarId>& vars() const { return vars_; }
 
@@ -32,6 +39,9 @@ class VarTrace {
   std::pair<std::uint64_t, std::uint64_t> range(std::size_t var_index) const;
 
  private:
+  /// Move next_due_ to the first grid point strictly after `round`.
+  void advance_grid(double round);
+
   std::vector<VarId> vars_;
   double interval_;
   double next_due_ = 0.0;

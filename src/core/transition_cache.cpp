@@ -188,6 +188,7 @@ std::uint64_t TransitionCache::build_pair_ref(std::uint32_t ia,
 }
 
 std::int32_t TransitionCache::build_dist(State sa, State sb) {
+  ++builds_;
   // Replay of the sample_uncached / change-weight walks, recording each
   // outcome's running-sum breakpoint. The recorded bounds are the exact
   // doubles the walks compare against, so "first breakpoint > u" selects the

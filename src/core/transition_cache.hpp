@@ -143,6 +143,9 @@ class TransitionCache {
   /// True once some state failed to intern because the cap was reached
   /// (those states fall back to the uncached walk; results are unchanged).
   bool cap_reached() const { return cap_reached_; }
+  /// Pair distributions built so far (first-sight misses; telemetry cheap
+  /// tier — each build is already a slow-path event).
+  std::uint64_t builds() const { return builds_; }
 
  private:
   // One (thread, rule) scheduler slot. `rule == nullptr` marks an empty
@@ -206,6 +209,7 @@ class TransitionCache {
   // -- Lazy memo ------------------------------------------------------------
   std::size_t max_states_;
   bool cap_reached_ = false;
+  std::uint64_t builds_ = 0;
   std::vector<State> states_;
   // Open-addressing State -> index map (power-of-two capacity, linear probe).
   std::vector<State> map_keys_;

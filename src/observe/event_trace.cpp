@@ -1,0 +1,56 @@
+#include "observe/event_trace.hpp"
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kConvergenceDetected:
+      return "convergence_detected";
+    case EventKind::kPhaseTick:
+      return "phase_tick";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kViolationObserved:
+      return "violation_observed";
+    case EventKind::kRecoveryComplete:
+      return "recovery_complete";
+    case EventKind::kChurnCrash:
+      return "churn_crash";
+    case EventKind::kChurnRejoin:
+      return "churn_rejoin";
+    case EventKind::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : ring_(capacity) {
+  POPPROTO_CHECK(capacity > 0);
+}
+
+void EventTrace::push(EventKind kind, double round, double value) {
+  ring_[next_] = TraceEvent{round, value, kind};
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<TraceEvent> EventTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest retained event sits at next_ once wrapped, else at 0.
+  const std::size_t start = size_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void EventTrace::clear() {
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace popproto

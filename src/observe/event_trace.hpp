@@ -1,0 +1,68 @@
+// Ring-buffered structured event trace with parallel-time stamps
+// (DESIGN.md §7).
+//
+// Engines, probes and benches push discrete events — convergence detected,
+// phase-clock tick, fault injected, recovery complete — into a fixed-size
+// ring; the oldest events are overwritten once capacity is hit, so a trace
+// attached to a long run keeps a bounded recent window plus an exact count
+// of everything it has seen. Pushing is O(1) with no allocation after
+// construction, cheap enough to leave attached in measured runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace popproto {
+
+enum class EventKind : std::uint8_t {
+  kConvergenceDetected,  // run_until predicate first held (value: rounds)
+  kPhaseTick,            // phase-clock digit tick (value: new digit / agent)
+  kFaultInjected,        // perturbation applied (value: #agents affected)
+  kViolationObserved,    // healthy predicate first failed after a fault
+  kRecoveryComplete,     // healthy predicate restabilized (value: recovery time)
+  kChurnCrash,           // agents left the scheduled set (value: #agents)
+  kChurnRejoin,          // agents rejoined (value: #agents)
+  kCustom,               // bench-specific payload
+};
+
+/// Stable lowercase name used in TELEMETRY_*.json (EXPERIMENTS.md schema).
+const char* event_kind_name(EventKind kind);
+
+struct TraceEvent {
+  double round = 0.0;  // parallel time of the event
+  double value = 0.0;  // kind-specific payload
+  EventKind kind = EventKind::kCustom;
+};
+
+class EventTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EventTrace(std::size_t capacity = kDefaultCapacity);
+
+  void push(EventKind kind, double round, double value = 0.0);
+
+  /// Retained events, oldest first (at most capacity() of them).
+  std::vector<TraceEvent> events() const;
+
+  /// Events pushed over the trace's lifetime (including overwritten ones).
+  std::uint64_t total_pushed() const { return total_; }
+  /// Events lost to ring overwrite.
+  std::uint64_t overwritten() const {
+    return total_ - static_cast<std::uint64_t>(size_);
+  }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Forget everything (capacity is kept); for reuse across trials.
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // slot the next push writes
+  std::size_t size_ = 0;  // occupied slots (== capacity once wrapped)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace popproto

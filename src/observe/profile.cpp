@@ -1,0 +1,56 @@
+#include "observe/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace popproto {
+
+// Keyed by C-string content (std::less<std::string> via transparent
+// comparison on the literal): scope names are few, so a node-based map
+// beats hashing setup and keeps snapshot order deterministic.
+struct Profiler::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, ScopeStats> scopes;
+};
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+Profiler::Impl& Profiler::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void Profiler::add(const char* name, double seconds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  ScopeStats& s = im.scopes[name];
+  if (s.name.empty()) s.name = name;
+  ++s.calls;
+  s.seconds += seconds;
+}
+
+std::vector<Profiler::ScopeStats> Profiler::snapshot() const {
+  Impl& im = impl();
+  std::vector<ScopeStats> out;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    out.reserve(im.scopes.size());
+    for (const auto& [_, s] : im.scopes) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.seconds > b.seconds;
+  });
+  return out;
+}
+
+void Profiler::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.scopes.clear();
+}
+
+}  // namespace popproto

@@ -1,0 +1,94 @@
+// Aggregated named-scope wall timers (DESIGN.md §7, detailed tier).
+//
+// POPPROTO_PROFILE_SCOPE("phase") drops an RAII timer into a block; on exit
+// the elapsed wall time is added to the process-wide registry under that
+// name. The registry (Profiler) is always compiled in — snapshots and the
+// telemetry exporter work in every build — but the *scopes* compile to
+// nothing unless the build defines POPPROTO_PROFILE (cmake
+// -DPOPPROTO_PROFILE=ON), so instrumented hot paths cost literally zero in
+// normal builds.
+//
+// Scope names must be string literals (the registry keys by pointer-stable
+// C strings without copying on the timing path). Aggregation is
+// mutex-guarded: scopes may close on worker threads (run_sweep_parallel
+// trials), which is orders of magnitude rarer than the code they time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace popproto {
+
+class Profiler {
+ public:
+  struct ScopeStats {
+    std::string name;
+    std::uint64_t calls = 0;
+    double seconds = 0.0;
+  };
+
+  /// Process-wide registry.
+  static Profiler& instance();
+
+  /// Add one closed scope's measurement. `name` must outlive the profiler
+  /// (string literal). Thread-safe.
+  void add(const char* name, double seconds);
+
+  /// Aggregated stats per scope name, sorted by descending total time.
+  std::vector<ScopeStats> snapshot() const;
+
+  /// Drop all aggregates (between benchmark sections / trials).
+  void reset();
+
+  /// True when the build times profile scopes (POPPROTO_PROFILE).
+  static constexpr bool compiled_in() {
+#ifdef POPPROTO_PROFILE
+    return true;
+#else
+    return false;
+#endif
+  }
+
+ private:
+  Profiler() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#ifdef POPPROTO_PROFILE
+
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : name_(name), t0_(std::chrono::steady_clock::now()) {}
+  ~ProfileScope() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    Profiler::instance().add(
+        name_, std::chrono::duration<double>(dt).count());
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+#else
+
+class ProfileScope {
+ public:
+  explicit constexpr ProfileScope(const char*) {}
+};
+
+#endif
+
+#define POPPROTO_PROFILE_CONCAT_(a, b) a##b
+#define POPPROTO_PROFILE_CONCAT(a, b) POPPROTO_PROFILE_CONCAT_(a, b)
+#define POPPROTO_PROFILE_SCOPE(name) \
+  ::popproto::ProfileScope POPPROTO_PROFILE_CONCAT(popproto_scope_, \
+                                                   __LINE__)(name)
+
+}  // namespace popproto

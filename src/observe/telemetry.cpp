@@ -1,0 +1,126 @@
+#include "observe/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/bench_io.hpp"
+
+namespace popproto {
+
+Telemetry::Telemetry(std::string suite) : suite_(std::move(suite)) {}
+
+void Telemetry::add_counter(const std::string& key, double value) {
+  counters_.emplace_back(key, value);
+}
+
+void Telemetry::add_counters(const EngineCounters& counters,
+                             const std::string& prefix) {
+  for (auto& [key, value] : counters.to_pairs())
+    counters_.emplace_back(prefix + key, value);
+}
+
+void Telemetry::add_events(const EventTrace& trace) {
+  for (const TraceEvent& e : trace.events()) events_.push_back(e);
+  events_total_ += trace.total_pushed();
+  events_overwritten_ += trace.overwritten();
+}
+
+void Telemetry::capture_profile() {
+  profile_ = Profiler::instance().snapshot();
+}
+
+bool Telemetry::write_json(const std::string& path) const {
+  std::string out;
+  out += "{\n  \"suite\": ";
+  json_append_string(out, suite_);
+  out += ",\n  \"schema_version\": 1,\n  \"kind\": \"telemetry\"";
+
+  out += ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    json_append_string(out, counters_[i].first);
+    out += ": ";
+    json_append_number(out, counters_[i].second);
+  }
+  out += counters_.empty() ? "}" : "\n  }";
+
+  out += ",\n  \"events\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"round\": ";
+    json_append_number(out, e.round);
+    out += ", \"kind\": ";
+    json_append_string(out, event_kind_name(e.kind));
+    out += ", \"value\": ";
+    json_append_number(out, e.value);
+    out += "}";
+  }
+  out += events_.empty() ? "]" : "\n  ]";
+  out += ",\n  \"events_total\": ";
+  json_append_number(out, static_cast<double>(events_total_));
+  out += ",\n  \"events_overwritten\": ";
+  json_append_number(out, static_cast<double>(events_overwritten_));
+
+  out += ",\n  \"profile\": [";
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    const Profiler::ScopeStats& s = profile_[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"name\": ";
+    json_append_string(out, s.name);
+    out += ", \"calls\": ";
+    json_append_number(out, static_cast<double>(s.calls));
+    out += ", \"seconds\": ";
+    json_append_number(out, s.seconds);
+    out += "}";
+  }
+  out += profile_.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write telemetry to %s\n",
+                 path.c_str());
+    return false;
+  }
+  f << out;
+  return static_cast<bool>(f);
+}
+
+bool Telemetry::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write telemetry to %s\n",
+                 path.c_str());
+    return false;
+  }
+  f << "key,value\n";
+  for (const auto& [key, value] : counters_) {
+    std::string line;
+    // Counter keys are repo-chosen identifiers (no quotes/commas expected),
+    // but escape defensively via the JSON quoting rules minus the quotes.
+    bool needs_quote = key.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      line += '"';
+      for (char c : key) {
+        if (c == '"') line += '"';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += key;
+    }
+    line += ',';
+    json_append_number(line, value);
+    f << line << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+std::string telemetry_json_path(const std::string& fallback) {
+  const char* env = std::getenv("POPPROTO_TELEMETRY_OUT");
+  return (env != nullptr && env[0] != '\0') ? std::string(env) : fallback;
+}
+
+}  // namespace popproto

@@ -1,0 +1,74 @@
+// Uniform telemetry export (TELEMETRY_*.json / .csv) — DESIGN.md §7,
+// schema in EXPERIMENTS.md.
+//
+// A Telemetry object is the one-stop sink a bench or experiment fills at
+// the end of a run: flat numeric counters (engine counter snapshots, sweep
+// aggregates, configuration knobs), the retained window of an EventTrace,
+// and the process profiler snapshot. write_json() emits
+//
+//   {
+//     "suite": "<name>", "schema_version": 1, "kind": "telemetry",
+//     "counters": {"<key>": <number>, ...},
+//     "events": [{"round": r, "kind": "<name>", "value": v}, ...],
+//     "events_total": N, "events_overwritten": M,
+//     "profile": [{"name": "<scope>", "calls": c, "seconds": s}, ...]
+//   }
+//
+// using the same escaping/number conventions as BENCH_*.json
+// (support/bench_io). write_csv() flattens the counters to `key,value`
+// rows for spreadsheet-side diffing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "observe/counters.hpp"
+#include "observe/event_trace.hpp"
+#include "observe/profile.hpp"
+
+namespace popproto {
+
+class Telemetry {
+ public:
+  explicit Telemetry(std::string suite);
+
+  /// Append one flat numeric counter. Keys repeat at the caller's peril
+  /// (later entries win in most JSON readers); prefer prefixes.
+  void add_counter(const std::string& key, double value);
+
+  /// Append an engine counter snapshot, each key prefixed (e.g. "cached.").
+  void add_counters(const EngineCounters& counters,
+                    const std::string& prefix = "");
+
+  /// Append the retained window of `trace` (plus its total/overwritten
+  /// bookkeeping) to the event list.
+  void add_events(const EventTrace& trace);
+
+  /// Capture the current Profiler snapshot (empty unless the build defines
+  /// POPPROTO_PROFILE and scopes have closed).
+  void capture_profile();
+
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+
+  const std::string& suite() const { return suite_; }
+  const std::vector<std::pair<std::string, double>>& counters() const {
+    return counters_;
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::string suite_;
+  std::vector<std::pair<std::string, double>> counters_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t events_total_ = 0;
+  std::uint64_t events_overwritten_ = 0;
+  std::vector<Profiler::ScopeStats> profile_;
+};
+
+/// Output path for a telemetry file: $POPPROTO_TELEMETRY_OUT when set, else
+/// `fallback` (mirrors bench_json_path).
+std::string telemetry_json_path(const std::string& fallback);
+
+}  // namespace popproto

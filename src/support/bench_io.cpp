@@ -7,18 +7,14 @@
 
 namespace popproto {
 
-namespace {
-
-// JSON has no inf/nan; clamp to 0 rather than emit an invalid token.
-double finite(double v) { return std::isfinite(v) ? v : 0.0; }
-
-void append_number(std::string& out, double v) {
+void json_append_number(std::string& out, double v) {
+  // JSON has no inf/nan; clamp to 0 rather than emit an invalid token.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", finite(v));
+  std::snprintf(buf, sizeof(buf), "%.17g", std::isfinite(v) ? v : 0.0);
   out += buf;
 }
 
-void append_string(std::string& out, const std::string& s) {
+void json_append_string(std::string& out, const std::string& s) {
   out += '"';
   for (const char c : s) {
     switch (c) {
@@ -44,30 +40,28 @@ void append_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
-}  // namespace
-
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records) {
   std::string out;
   out += "{\n  \"suite\": ";
-  append_string(out, suite);
+  json_append_string(out, suite);
   out += ",\n  \"schema_version\": 1,\n  \"records\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"name\": ";
-    append_string(out, r.name);
+    json_append_string(out, r.name);
     out += ", \"wall_seconds\": ";
-    append_number(out, r.wall_seconds);
+    json_append_number(out, r.wall_seconds);
     out += ", \"interactions_per_sec\": ";
-    append_number(out, r.interactions_per_sec);
+    json_append_number(out, r.interactions_per_sec);
     out += ", \"effective_interactions_per_sec\": ";
-    append_number(out, r.effective_interactions_per_sec);
+    json_append_number(out, r.effective_interactions_per_sec);
     for (const auto& [key, value] : r.extra) {
       out += ", ";
-      append_string(out, key);
+      json_append_string(out, key);
       out += ": ";
-      append_number(out, value);
+      json_append_number(out, value);
     }
     out += "}";
   }

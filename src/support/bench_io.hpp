@@ -32,4 +32,16 @@ bool write_bench_json(const std::string& path, const std::string& suite,
 /// Output path for a suite: $POPPROTO_BENCH_OUT when set, else `fallback`.
 std::string bench_json_path(const std::string& fallback);
 
+// -- JSON building blocks ---------------------------------------------------
+// Shared by the bench writer above and the telemetry exporter
+// (src/observe/telemetry.*): one escaping/formatting convention for every
+// machine-readable artifact this repo emits.
+
+/// Append `v` as a JSON number ("%.17g"; non-finite values clamp to 0 —
+/// JSON has no inf/nan tokens).
+void json_append_number(std::string& out, double v);
+
+/// Append `s` as a quoted, escaped JSON string.
+void json_append_string(std::string& out, const std::string& s);
+
 }  // namespace popproto

@@ -30,8 +30,14 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
-double Accumulator::min() const { return min_; }
-double Accumulator::max() const { return max_; }
+double Accumulator::min() const {
+  POPPROTO_CHECK_MSG(n_ > 0, "min() of an empty accumulator");
+  return min_;
+}
+double Accumulator::max() const {
+  POPPROTO_CHECK_MSG(n_ > 0, "max() of an empty accumulator");
+  return max_;
+}
 
 double quantile_sorted(const std::vector<double>& sorted, double q) {
   POPPROTO_CHECK(!sorted.empty());

@@ -16,6 +16,8 @@ class Accumulator {
   /// Sample variance (n-1 denominator); 0 when fewer than two samples.
   double variance() const;
   double stddev() const;
+  /// Extrema of the added samples. POPPROTO_CHECK-fails on an empty
+  /// accumulator — a silent 0.0 would poison aggregated summaries.
   double min() const;
   double max() const;
   double sum() const { return sum_; }

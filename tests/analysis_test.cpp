@@ -56,6 +56,57 @@ TEST(VarTrace, RecordCountsVariant) {
   EXPECT_EQ(trace.points()[1].counts[0], 9u);
 }
 
+TEST(VarTrace, GridDoesNotDriftUnderUnevenHooks) {
+  // Regression: hooks firing every 0.7 rounds used to re-anchor the next due
+  // time at `observation + interval`, stretching the effective spacing to
+  // 1.4 rounds (one point per ~1.4 rounds instead of per 1.0). The fixed
+  // grid serves every integer point 0..21 exactly once.
+  auto vars = make_var_space();
+  const VarId a = vars->intern("A");
+  VarTrace trace({a}, /*interval_rounds=*/1.0);
+  for (int k = 0; k <= 30; ++k) trace.record_counts(0.7 * k, {1});
+  EXPECT_EQ(trace.points().size(), 22u);
+  // No two recorded points serve the same grid cell: spacing stays near the
+  // interval instead of compounding the hook offset.
+  for (std::size_t i = 1; i < trace.points().size(); ++i) {
+    const double gap =
+        trace.points()[i].round - trace.points()[i - 1].round;
+    EXPECT_GE(gap, 0.69);
+    EXPECT_LE(gap, 1.41);
+  }
+}
+
+TEST(VarTrace, SparseObservationsCatchUpWithoutBacklog) {
+  auto vars = make_var_space();
+  const VarId a = vars->intern("A");
+  VarTrace trace({a}, 1.0);
+  trace.record_counts(0.0, {1});
+  // A skip-ahead style jump over many grid points: exactly one point lands,
+  // and the grid resumes at the next point after the landing round.
+  trace.record_counts(10.3, {2});
+  ASSERT_EQ(trace.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.points()[1].round, 10.3);
+  trace.record_counts(10.6, {3});  // before the next due point (11): dropped
+  trace.record_counts(11.0, {4});
+  ASSERT_EQ(trace.points().size(), 3u);
+  EXPECT_EQ(trace.points()[2].counts[0], 4u);
+}
+
+TEST(VarTrace, ResetAllowsReuseAcrossTrials) {
+  auto vars = make_var_space();
+  const VarId a = vars->intern("A");
+  VarTrace trace({a}, 2.0);
+  for (double r = 0.0; r <= 8.0; r += 1.0) trace.record_counts(r, {1});
+  ASSERT_EQ(trace.points().size(), 5u);
+  trace.reset();
+  EXPECT_TRUE(trace.points().empty());
+  // The grid is re-anchored at 0: a fresh trial records from round 0 again
+  // instead of waiting out the previous trial's due time.
+  trace.record_counts(0.0, {9});
+  ASSERT_EQ(trace.points().size(), 1u);
+  EXPECT_EQ(trace.points()[0].counts[0], 9u);
+}
+
 TEST(Crossings, CountsUpwardCrossingsOnly) {
   std::vector<TracePoint> pts;
   for (const std::uint64_t v : {1u, 5u, 2u, 6u, 7u, 1u, 8u})

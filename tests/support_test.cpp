@@ -136,6 +136,17 @@ TEST(Stats, AccumulatorSingleSampleVarianceZero) {
   EXPECT_EQ(acc.variance(), 0.0);
 }
 
+TEST(Stats, AccumulatorEmptyExtremaDie) {
+  // min()/max() of an empty accumulator used to silently return 0.0, which
+  // poisons aggregates (a fake 0 minimum); now it's a hard check failure.
+  Accumulator acc;
+  EXPECT_DEATH(acc.min(), "empty accumulator");
+  EXPECT_DEATH(acc.max(), "empty accumulator");
+  acc.add(-3.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), -3.0);
+}
+
 TEST(Stats, SummaryQuantiles) {
   std::vector<double> xs;
   for (int i = 1; i <= 100; ++i) xs.push_back(i);
@@ -158,6 +169,19 @@ TEST(Stats, QuantileSortedInterpolates) {
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(Stats, QuantileSortedEndpointsAndSingleton) {
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 3.0);
+  // q=1 must hit the last element exactly (no off-by-one read past the end,
+  // no interpolation residue).
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 16.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.0);
 }
 
 TEST(Table, MarkdownShape) {
