@@ -11,14 +11,17 @@
 //
 // Flags: --smoke shrinks every measurement ~8x (CI smoke step); --csv and
 // POPPROTO_SCALE are accepted-and-ignored for convention compatibility.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clocks/oscillator.hpp"
 #include "clocks/phase_clock.hpp"
+#include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "observe/telemetry.hpp"
@@ -179,6 +182,78 @@ void bench_count_skip(std::uint64_t reps, std::vector<BenchRecord>& out,
               rec.interactions_per_sec, rec.effective_interactions_per_sec);
 }
 
+void bench_batch_backend(bool smoke, std::vector<BenchRecord>& out,
+                         Telemetry& telemetry) {
+  // ISSUE 4 acceptance series: phase clock under the sharded batch backend
+  // at 1/2/4 threads vs the sequential agent-engine baseline, same n.
+  // Names and telemetry prefixes are n-independent (n rides in `extra`) so
+  // the CI schema diff is stable between smoke and full runs. The `speedup
+  // _vs_agent` counter is meaningful only when `hardware_threads` >= the
+  // thread count — on a smaller host the extra shards still run, serialized
+  // by the OS, and the honest (lower) number is recorded.
+  const std::size_t n = smoke ? (std::size_t{1} << 17) : (std::size_t{1} << 20);
+  const double rounds = smoke ? 24.0 : 48.0;
+  const double hw = static_cast<double>(std::thread::hardware_concurrency());
+
+  auto vars = make_var_space();
+  const Protocol proto = make_phase_clock_protocol(vars);
+  const auto init = phase_clock_initial_states(n, n >> 10, *vars);
+
+  // Sequential agent-engine baseline at the same n (steps, not rounds: one
+  // round of sequential time is n interactions).
+  double agent_ips = 0.0;
+  {
+    Engine eng(proto, init, /*seed=*/7);
+    const std::uint64_t steps = static_cast<std::uint64_t>(
+        rounds * static_cast<double>(n) / 8.0);
+    const EngineRate r = time_engine(eng, steps / 4, steps);
+    agent_ips = r.ips;
+    BenchRecord rec = engine_record("phase_clock_agent_baseline", r,
+                                    static_cast<double>(n));
+    rec.extra.emplace_back("hardware_threads", hw);
+    out.push_back(std::move(rec));
+    telemetry.add_counters(eng.counters(), "batch_baseline.");
+    std::printf("%-32s %12.3g int/s\n", "phase_clock_agent_baseline",
+                agent_ips);
+  }
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    BatchEngine::Params params;
+    params.threads = threads;
+    BatchEngine eng(proto, init, /*seed=*/7, params);
+    eng.run_rounds(rounds / 4.0);  // warmup: populate per-shard caches
+    // Best-of-3 chunks, like time_interleaved: discard transient slowdowns.
+    double wall = 0.0, ips = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::uint64_t i0 = eng.interactions();
+      const double t0 = now_seconds();
+      eng.run_rounds(rounds / 3.0);
+      const double dt = now_seconds() - t0;
+      wall += dt;
+      ips = std::max(
+          ips, static_cast<double>(eng.interactions() - i0) / dt);
+    }
+    const std::string name = "phase_clock_batch_t" + std::to_string(threads);
+    BenchRecord rec;
+    rec.name = name;
+    rec.wall_seconds = wall;
+    rec.interactions_per_sec = ips;
+    rec.effective_interactions_per_sec = ips;
+    rec.extra.emplace_back("n", static_cast<double>(n));
+    rec.extra.emplace_back("threads", static_cast<double>(threads));
+    rec.extra.emplace_back("shards", static_cast<double>(eng.shards()));
+    rec.extra.emplace_back("hardware_threads", hw);
+    rec.extra.emplace_back("migrate_every",
+                           static_cast<double>(params.migrate_every));
+    rec.extra.emplace_back("speedup_vs_agent", ips / agent_ips);
+    out.push_back(std::move(rec));
+    telemetry.add_counters(eng.counters(),
+                           "batch_t" + std::to_string(threads) + ".");
+    std::printf("%-32s %12.3g int/s   (%.2fx vs agent baseline)\n",
+                name.c_str(), ips, ips / agent_ips);
+  }
+}
+
 int run(bool smoke) {
   const std::uint64_t scale = smoke ? 8 : 1;
   std::vector<BenchRecord> records;
@@ -210,6 +285,7 @@ int run(bool smoke) {
   }
   bench_count_direct((std::uint64_t{1} << 23) / scale, records, telemetry);
   bench_count_skip(smoke ? 2 : 8, records, telemetry);
+  bench_batch_backend(smoke, records, telemetry);
 
   const std::string path = bench_json_path("BENCH_engine.json");
   if (!write_bench_json(path, "bench_kernel", records)) return 1;

@@ -12,6 +12,8 @@
 
 #include "clocks/hierarchy.hpp"
 #include "clocks/oscillator.hpp"
+#include "clocks/phase_clock.hpp"
+#include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "observe/telemetry.hpp"
@@ -67,6 +69,24 @@ void BM_CountEngineSkipAhead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 31);
 }
 BENCHMARK(BM_CountEngineSkipAhead);
+
+void BM_BatchEngineRound(benchmark::State& state) {
+  // One sharded random-matching round of the phase clock at n = 2^18; the
+  // Arg is the thread count. Items = interactions (= matched pairs).
+  auto vars = make_var_space();
+  const Protocol p = make_phase_clock_protocol(vars);
+  const std::size_t n = 1 << 18;
+  BatchEngine::Params params;
+  params.threads = static_cast<unsigned>(state.range(0));
+  BatchEngine eng(p, phase_clock_initial_states(n, 1 << 8, *vars), 1, params);
+  eng.run_rounds(4.0);  // populate the per-shard caches
+  const std::uint64_t before = eng.interactions();
+  for (auto _ : state) eng.step();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(eng.interactions() - before));
+  state.counters["shards"] = static_cast<double>(eng.shards());
+}
+BENCHMARK(BM_BatchEngineRound)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_OscillatorSimStep(benchmark::State& state) {
   OscillatorSim sim = OscillatorSim::uniform(1 << 20, 1 << 6, 1);

@@ -1,0 +1,387 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace popproto {
+
+namespace {
+
+// Keep at least two agents in a shard whenever the population allows it: a
+// lone agent can never be matched, so a 1-agent shard would silently idle.
+constexpr std::size_t kMinUsableShard = 2;
+
+}  // namespace
+
+BatchEngine::BatchEngine(const Protocol& protocol, std::vector<State> initial,
+                         std::uint64_t seed)
+    : BatchEngine(protocol, std::move(initial), seed, Params{}) {}
+
+BatchEngine::BatchEngine(const Protocol& protocol, std::vector<State> initial,
+                         std::uint64_t seed, Params params)
+    : protocol_(protocol), params_(params), states_(std::move(initial)) {
+  POPPROTO_CHECK(protocol_.num_rules() > 0);
+  POPPROTO_CHECK_MSG(states_.size() >= 2, "need at least two agents");
+
+  const std::size_t n = states_.size();
+  std::size_t t = params_.threads != 0
+                      ? params_.threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t floor_agents =
+      std::max(params_.min_shard, kMinUsableShard);
+  while (t > 1 && n / t < floor_agents) --t;
+
+  // Stream seeding order (stable across versions, documented for replay):
+  // migration stream first, then one stream per shard in shard order.
+  std::uint64_t sm = seed;
+  migrate_rng_ = Rng(splitmix64(sm));
+  shards_.reserve(t);
+  const std::size_t base = n / t;
+  const std::size_t extra = n % t;
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < t; ++s) {
+    const std::size_t take = base + (s < extra ? 1 : 0);
+    Shard sh{{},
+             Rng(splitmix64(sm)),
+             TransitionCache(protocol_, params_.max_cache_states),
+             {},
+             0};
+    sh.slots.reserve(take);
+    for (std::size_t i = 0; i < take; ++i)
+      sh.slots.push_back(
+          pack(TransitionCache::kNoState, static_cast<std::uint32_t>(off + i)));
+    off += take;
+    shards_.push_back(std::move(sh));
+  }
+  active_n_ = n;
+
+  workers_.reserve(t - 1);
+  for (std::size_t w = 1; w < t; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void BatchEngine::set_injection_hook(InjectionHook hook) {
+  injection_ = std::move(hook);
+  last_injection_round_ = std::floor(time_);
+}
+
+void BatchEngine::set_scheduler_bias(std::optional<SchedulerBias> bias) {
+  bias_ = std::move(bias);
+}
+
+void BatchEngine::worker_loop(std::size_t shard_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    shard_round(shards_[shard_index]);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--unfinished_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void BatchEngine::run_round_parallel() {
+  if (shards_.size() == 1) {
+    shard_round(shards_[0]);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    unfinished_ = shards_.size() - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  shard_round(shards_[0]);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return unfinished_ == 0; });
+}
+
+void BatchEngine::resolve(Shard& sh, std::uint64_t& sa, std::uint64_t& sb,
+                          double u) {
+  // Mirrors Engine::resolve_cached, with the interned-index shadow packed
+  // into the slot words instead of a per-agent side array.
+  const std::uint32_t id_a = slot_id(sa);
+  const std::uint32_t id_b = slot_id(sb);
+  std::uint32_t ia = static_cast<std::uint32_t>(sa >> 32);
+  if (ia == TransitionCache::kNoState) [[unlikely]] {
+    ia = sh.cache.state_index(states_[id_a]);
+    sa = pack(ia, id_a);
+  }
+  std::uint32_t ib = static_cast<std::uint32_t>(sb >> 32);
+  if (ib == TransitionCache::kNoState) [[unlikely]] {
+    ib = sh.cache.state_index(states_[id_b]);
+    sb = pack(ib, id_b);
+  }
+  if (ia != TransitionCache::kNoState && ib != TransitionCache::kNoState)
+      [[likely]] {
+    const IndexedPair r = sh.cache.sample_indexed(ia, ib, u);
+    if (r.a != TransitionCache::kNoState &&
+        r.b != TransitionCache::kNoState) [[likely]] {
+#ifdef POPPROTO_PROFILE
+      ++sh.ctr.cache_hits;
+#endif
+      if (r.a == ia && r.b == ib) [[likely]]
+        return;
+      if (r.a != ia) {
+        states_[id_a] = sh.cache.state_at(r.a);
+        sa = pack(r.a, id_a);
+      }
+      if (r.b != ib) {
+        states_[id_b] = sh.cache.state_at(r.b);
+        sb = pack(r.b, id_b);
+      }
+      ++sh.ctr.effective_steps;
+      return;
+    }
+  }
+  // Cap overflow on an input or result state: resolve by value; the slot
+  // shadows reset so the miss path relearns them.
+  ++sh.ctr.cache_fallbacks;
+  const State va = states_[id_a];
+  const State vb = states_[id_b];
+  const PairOutcome o = sh.cache.sample(va, vb, u);
+  if (o.a != va || o.b != vb) ++sh.ctr.effective_steps;
+  if (o.a != va) {
+    states_[id_a] = o.a;
+    sa = pack(TransitionCache::kNoState, id_a);
+  }
+  if (o.b != vb) {
+    states_[id_b] = o.b;
+    sb = pack(TransitionCache::kNoState, id_b);
+  }
+}
+
+void BatchEngine::shard_round(Shard& sh) {
+  auto& slots = sh.slots;
+  const std::size_t m = slots.size();
+  sh.pairs = 0;
+  if (m < 2) return;
+  // Uniformly random maximal matching over the shard: Fisher–Yates, then
+  // pair consecutive entries — the sample_random_matching law, with the
+  // orientation uniform because the shuffle is.
+  for (std::size_t i = m - 1; i > 0; --i) {
+    const std::size_t j = sh.rng.below(i + 1);
+    std::swap(slots[i], slots[j]);
+  }
+  const bool dropping = static_cast<bool>(injection_.drop_interaction);
+  const bool biased = bias_ && bias_->epsilon > 0.0;
+  std::uint64_t pairs = 0;
+  for (std::size_t i = 0; i + 1 < m; i += 2) {
+    ++pairs;
+    if (biased && sh.rng.chance(bias_->epsilon) &&
+        !bias_->prefer.matches(states_[slot_id(slots[i])]) &&
+        bias_->prefer.matches(states_[slot_id(slots[i + 1])]))
+      std::swap(slots[i], slots[i + 1]);
+    if (dropping && injection_.drop_interaction(sh.rng)) {
+      ++sh.ctr.dropped_interactions;
+      continue;
+    }
+    const double u = sh.rng.uniform();
+    resolve(sh, slots[i], slots[i + 1], u);
+  }
+  sh.pairs = pairs;
+}
+
+bool BatchEngine::step() {
+  const bool runnable = active_n_ >= 2;
+  if (runnable) {
+    if (sidx_dirty_) invalidate_sidx();
+    run_round_parallel();
+    for (const Shard& sh : shards_) interactions_ += sh.pairs;
+  }
+  time_ += 1.0;
+  if (shards_.size() > 1 &&
+      ++rounds_since_migrate_ >= params_.migrate_every) {
+    migrate();
+    rounds_since_migrate_ = 0;
+  }
+  fire_round_hooks_if_due();
+  return runnable;
+}
+
+void BatchEngine::run_rounds(double rounds_to_run) {
+  const double target = time_ + rounds_to_run;
+  while (time_ < target) step();
+}
+
+void BatchEngine::fire_round_hooks_if_due() {
+  if (!injection_.on_round) return;
+  while (last_injection_round_ + 1.0 <= time_) {
+    last_injection_round_ += 1.0;
+    injection_.on_round(last_injection_round_);
+  }
+}
+
+void BatchEngine::migrate() {
+  // Global reshuffle on the dedicated migration stream, then deal evenly
+  // sized contiguous chunks back out. Interned shadows reset: each shard's
+  // cache interns independently, so indices do not transfer.
+  migration_buf_.clear();
+  migration_buf_.reserve(active_n_);
+  for (const Shard& sh : shards_)
+    for (const std::uint64_t slot : sh.slots)
+      migration_buf_.push_back(slot_id(slot));
+  const std::size_t total = migration_buf_.size();
+  for (std::size_t i = total; i > 1; --i) {
+    const std::size_t j = migrate_rng_.below(i);
+    std::swap(migration_buf_[i - 1], migration_buf_[j]);
+  }
+  // A population too small to give every shard a matchable pair collapses
+  // into shard 0 (degenerate churn regime; rebalanced again on rejoin).
+  const std::size_t s_count =
+      total < kMinUsableShard * shards_.size() ? 1 : shards_.size();
+  const std::size_t base = total / s_count;
+  const std::size_t extra = total % s_count;
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& slots = shards_[s].slots;
+    slots.clear();
+    if (s < s_count) {
+      const std::size_t take = base + (s < extra ? 1 : 0);
+      for (std::size_t i = 0; i < take; ++i)
+        slots.push_back(pack(TransitionCache::kNoState,
+                             migration_buf_[off + i]));
+      off += take;
+    }
+  }
+}
+
+void BatchEngine::invalidate_sidx() {
+  for (Shard& sh : shards_)
+    for (std::uint64_t& slot : sh.slots)
+      slot = pack(TransitionCache::kNoState, slot_id(slot));
+  sidx_dirty_ = false;
+}
+
+std::pair<std::size_t, std::size_t> BatchEngine::locate(std::uint64_t r) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (r < shards_[s].slots.size()) return {s, static_cast<std::size_t>(r)};
+    r -= shards_[s].slots.size();
+  }
+  POPPROTO_CHECK_MSG(false, "scheduled-agent index out of range");
+  return {0, 0};
+}
+
+std::uint64_t BatchEngine::crash_random(std::uint64_t k, Rng& rng) {
+  if (active_n_ <= 2) return 0;
+  k = std::min<std::uint64_t>(k, active_n_ - 2);
+  for (std::uint64_t j = 0; j < k; ++j) {
+    const auto [s, pos] = locate(rng.below(active_n_));
+    auto& slots = shards_[s].slots;
+    crashed_.push_back(slot_id(slots[pos]));
+    slots[pos] = slots.back();
+    slots.pop_back();
+    --active_n_;
+  }
+  ctr_.crash_events += k;
+  if (trace_ && k > 0)
+    trace_->push(EventKind::kChurnCrash, time_, static_cast<double>(k));
+  return k;
+}
+
+std::uint64_t BatchEngine::rejoin_random(std::uint64_t k, Rng& rng) {
+  k = std::min<std::uint64_t>(k, crashed_.size());
+  for (std::uint64_t j = 0; j < k; ++j) {
+    const std::size_t pick = rng.below(crashed_.size());
+    std::swap(crashed_[pick], crashed_.back());
+    const std::uint32_t id = crashed_.back();
+    crashed_.pop_back();
+    // Deterministic placement: the smallest shard (lowest index on ties).
+    std::size_t dest = 0;
+    for (std::size_t s = 1; s < shards_.size(); ++s)
+      if (shards_[s].slots.size() < shards_[dest].slots.size()) dest = s;
+    shards_[dest].slots.push_back(pack(TransitionCache::kNoState, id));
+    ++active_n_;
+  }
+  ctr_.rejoin_events += k;
+  if (trace_ && k > 0)
+    trace_->push(EventKind::kChurnRejoin, time_, static_cast<double>(k));
+  return k;
+}
+
+std::uint64_t BatchEngine::rejoin_all() {
+  const std::uint64_t k = crashed_.size();
+  for (const std::uint32_t id : crashed_) {
+    std::size_t dest = 0;
+    for (std::size_t s = 1; s < shards_.size(); ++s)
+      if (shards_[s].slots.size() < shards_[dest].slots.size()) dest = s;
+    shards_[dest].slots.push_back(pack(TransitionCache::kNoState, id));
+  }
+  crashed_.clear();
+  active_n_ += k;
+  ctr_.rejoin_events += k;
+  if (trace_ && k > 0)
+    trace_->push(EventKind::kChurnRejoin, time_, static_cast<double>(k));
+  return k;
+}
+
+std::uint64_t BatchEngine::mutate_random_agents(
+    std::uint64_t k, Rng& rng,
+    const std::function<State(State old_state, std::uint64_t j)>& f) {
+  // Partial Fisher–Yates over a gathered pool of scheduled ids: exact
+  // uniform sampling without replacement (the Engine-side convention).
+  std::vector<std::uint32_t> pool;
+  pool.reserve(active_n_);
+  for (const Shard& sh : shards_)
+    for (const std::uint64_t slot : sh.slots) pool.push_back(slot_id(slot));
+  k = std::min<std::uint64_t>(k, pool.size());
+  for (std::uint64_t j = 0; j < k; ++j) {
+    std::swap(pool[j], pool[j + rng.below(pool.size() - j)]);
+    const std::uint32_t victim = pool[j];
+    states_[victim] = f(states_[victim], j);
+  }
+  if (k > 0) sidx_dirty_ = true;
+  ctr_.corrupted_agents += k;
+  if (trace_ && k > 0)
+    trace_->push(EventKind::kFaultInjected, time_, static_cast<double>(k));
+  return k;
+}
+
+std::uint64_t BatchEngine::count_matching(const Guard& g) const {
+  std::uint64_t count = 0;
+  for (const Shard& sh : shards_)
+    for (const std::uint64_t slot : sh.slots)
+      if (g.matches(states_[slot_id(slot)])) ++count;
+  return count;
+}
+
+std::vector<std::pair<State, std::uint64_t>> BatchEngine::species() const {
+  std::unordered_map<State, std::uint64_t> counts;
+  for (const Shard& sh : shards_)
+    for (const std::uint64_t slot : sh.slots) ++counts[states_[slot_id(slot)]];
+  std::vector<std::pair<State, std::uint64_t>> out(counts.begin(),
+                                                   counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EngineCounters BatchEngine::counters() const {
+  EngineCounters c = ctr_;
+  c.interactions = interactions_;
+  for (const Shard& sh : shards_) {
+    c.effective_steps += sh.ctr.effective_steps;
+    c.dropped_interactions += sh.ctr.dropped_interactions;
+    c.cache_fallbacks += sh.ctr.cache_fallbacks;
+    c.cache_hits += sh.ctr.cache_hits;
+    c.cache_builds += sh.cache.builds();
+  }
+  return c;
+}
+
+}  // namespace popproto

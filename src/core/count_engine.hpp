@@ -27,6 +27,7 @@
 
 #include "core/injection.hpp"
 #include "core/protocol.hpp"
+#include "core/sim_backend.hpp"
 #include "core/transition_cache.hpp"
 #include "observe/counters.hpp"
 #include "observe/event_trace.hpp"
@@ -36,7 +37,11 @@ namespace popproto {
 
 enum class CountEngineMode { kDirect, kSkip, kAuto };
 
-class CountEngine {
+/// Implements SimBackend (core/sim_backend.hpp) as the "count" substrate.
+/// The backend-generic run_until (predicate over SimBackend) is reachable
+/// through a SimBackend reference; the concrete overload below (predicate
+/// over CountEngine) stays the native surface.
+class CountEngine final : public SimBackend {
  public:
   /// Initial configuration: (state, count) pairs; counts must sum to n >= 2.
   CountEngine(const Protocol& protocol,
@@ -48,9 +53,9 @@ class CountEngine {
   /// interaction plus its geometric prefix of no-ops (skip mode). Returns
   /// false iff the configuration is silent (no rule can change anything) —
   /// time is then advanced past `silence_horizon_rounds` instead.
-  bool step();
+  bool step() override;
 
-  void run_rounds(double rounds);
+  void run_rounds(double rounds) override;
 
   /// Run until predicate(engine) holds (checked after every effective
   /// change, at most every `check_interval` rounds); nullopt on timeout.
@@ -71,8 +76,8 @@ class CountEngine {
   /// leave the RNG stream and trajectory bit-for-bit unchanged. While a
   /// SchedulerBias is active the engine runs in direct mode (the skip-ahead
   /// law assumes uniform pair sampling).
-  void set_injection_hook(InjectionHook hook);
-  void set_scheduler_bias(std::optional<SchedulerBias> bias);
+  void set_injection_hook(InjectionHook hook) override;
+  void set_scheduler_bias(std::optional<SchedulerBias> bias) override;
 
   // -- Dynamic population (churn) on counts ---------------------------------
   /// Move up to `k` uniformly chosen agents out of the scheduled multiset
@@ -94,31 +99,38 @@ class CountEngine {
       const std::function<State(State old_state, std::uint64_t j)>& f);
 
   std::uint64_t count_state(State s) const;
-  std::uint64_t count_matching(const Guard& g) const;
+  std::uint64_t count_matching(const Guard& g) const override;
   std::uint64_t count_matching(const BoolExpr& e) const {
     return count_matching(Guard(e));
   }
   bool exists(const BoolExpr& e) const { return count_matching(e) > 0; }
 
   /// All species with nonzero count (scheduled agents only).
-  std::vector<std::pair<State, std::uint64_t>> species() const;
+  std::vector<std::pair<State, std::uint64_t>> species() const override;
   /// Crashed agents' frozen states, by species.
   std::vector<std::pair<State, std::uint64_t>> crashed_species() const;
 
   // -- Observability (src/observe/, DESIGN.md §7) ---------------------------
   /// Telemetry counter snapshot (cheap tier; skip-ahead jump statistics,
   /// churn/corruption tallies and cache builds included).
-  EngineCounters counters() const;
+  EngineCounters counters() const override;
   /// Attach (or detach, with nullptr) a structured event sink for churn,
   /// corruption and run_until convergence events. Not owned.
-  void set_event_trace(EventTrace* trace) { trace_ = trace; }
+  void set_event_trace(EventTrace* trace) override { trace_ = trace; }
 
-  double rounds() const { return time_; }
-  std::uint64_t interactions() const { return interactions_; }
+  // -- SimBackend observables (core/sim_backend.hpp) ------------------------
+  const char* backend_name() const override { return "count"; }
+  std::uint64_t active_n() const override { return n_; }
+
+  double rounds() const override { return time_; }
+  std::uint64_t interactions() const override { return interactions_; }
   std::uint64_t effective_interactions() const { return effective_; }
   /// Scheduled (non-crashed) population size.
   std::uint64_t n() const { return n_; }
   bool silent() const { return silent_; }
+
+ protected:
+  EventTrace* event_trace() const override { return trace_; }
 
  private:
   // One state-changing (ordered species pair) event for skip-ahead; the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <tuple>
+#include <unordered_map>
 
 namespace popproto {
 
@@ -211,13 +212,14 @@ void Engine::fire_round_hooks_if_due() {
   }
 }
 
-void Engine::step() {
+bool Engine::step() {
   if (scheduler_ == SchedulerKind::kSequential) {
     sequential_step();
   } else {
     matching_step();
   }
   fire_round_hooks_if_due();
+  return true;
 }
 
 void Engine::run_steps(std::uint64_t k) {
@@ -285,6 +287,23 @@ EngineCounters Engine::counters() const {
   c.interactions = interactions_;
   c.cache_builds = cache_.builds();
   return c;
+}
+
+std::uint64_t Engine::count_matching(const Guard& g) const {
+  if (active_identity_) return pop_.count_matching(g);
+  std::uint64_t count = 0;
+  for (const std::uint32_t i : active_)
+    if (g.matches(pop_.state(i))) ++count;
+  return count;
+}
+
+std::vector<std::pair<State, std::uint64_t>> Engine::species() const {
+  std::unordered_map<State, std::uint64_t> counts;
+  for (const std::uint32_t i : active_) ++counts[pop_.state(i)];
+  std::vector<std::pair<State, std::uint64_t>> out(counts.begin(),
+                                                   counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace popproto

@@ -8,6 +8,7 @@
 #include "core/population.hpp"
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
+#include "core/sim_backend.hpp"
 #include "core/transition_cache.hpp"
 #include "observe/counters.hpp"
 #include "observe/event_trace.hpp"
@@ -21,15 +22,20 @@ namespace popproto {
 /// 1/n_active rounds; one random-matching activation advances time by one
 /// round. n_active is the number of non-crashed agents, so parallel time
 /// stays calibrated to the scheduled population under churn.
-class Engine {
+///
+/// Implements SimBackend (core/sim_backend.hpp) as the "agent" substrate;
+/// the per-interaction hot path (run_steps / resolve_cached) never crosses
+/// a virtual boundary.
+class Engine final : public SimBackend {
  public:
   Engine(const Protocol& protocol, std::vector<State> initial_states,
          std::uint64_t seed,
          SchedulerKind scheduler = SchedulerKind::kSequential);
 
   /// One scheduler activation: a single interaction (sequential) or a full
-  /// random matching (matching scheduler).
-  void step();
+  /// random matching (matching scheduler). Always returns true (an agent
+  /// engine is never silent; rules may still all be no-ops).
+  bool step() override;
 
   /// Exactly `k` scheduler activations. Equivalent to calling step() k
   /// times, but the loop stays inside the engine so the per-activation call
@@ -37,7 +43,7 @@ class Engine {
   void run_steps(std::uint64_t k);
 
   /// Run for (at least) `rounds` additional units of parallel time.
-  void run_rounds(double rounds);
+  void run_rounds(double rounds) override;
 
   /// Run until `predicate(population)` holds, checking every
   /// `check_interval` rounds; gives up after `max_rounds`.
@@ -52,6 +58,9 @@ class Engine {
   std::optional<double> run_until(
       const std::function<bool(const AgentPopulation&)>& predicate,
       double max_rounds, double check_interval = 1.0);
+  /// The backend-generic overload (predicate over SimBackend) is also
+  /// available through a SimBackend reference.
+  using SimBackend::run_until;
 
   /// Callback invoked exactly once per whole round of parallel time, with
   /// strictly increasing rounds. Installing a hook mid-run starts the
@@ -70,9 +79,9 @@ class Engine {
 
   /// Fault-layer injection points (see core/injection.hpp). Unset hooks
   /// leave the engine's RNG stream and trajectory bit-for-bit unchanged.
-  void set_injection_hook(InjectionHook hook);
+  void set_injection_hook(InjectionHook hook) override;
   /// Enable (or, with nullopt, disable) the ε-of-uniform pair-sampling skew.
-  void set_scheduler_bias(std::optional<SchedulerBias> bias);
+  void set_scheduler_bias(std::optional<SchedulerBias> bias) override;
 
   // -- Dynamic population (agent churn) -------------------------------------
   /// Remove agent `i` from the scheduled set: it takes part in no further
@@ -94,17 +103,29 @@ class Engine {
   /// Telemetry counter snapshot: engine-side tallies merged with the
   /// transition cache's build count. Cheap tier is always maintained;
   /// cache_hits stays 0 unless built with POPPROTO_PROFILE.
-  EngineCounters counters() const;
+  EngineCounters counters() const override;
   /// Attach (or, with nullptr, detach) a structured event sink. The engine
   /// pushes churn events and run_until convergence; it never owns the trace.
-  void set_event_trace(EventTrace* trace) { trace_ = trace; }
+  void set_event_trace(EventTrace* trace) override { trace_ = trace; }
 
-  double rounds() const { return time_; }
-  std::uint64_t interactions() const { return interactions_; }
+  // -- SimBackend observables (core/sim_backend.hpp) ------------------------
+  const char* backend_name() const override { return "agent"; }
+  std::uint64_t active_n() const override { return active_.size(); }
+  /// Scheduled agents whose state satisfies the guard (crashed agents'
+  /// frozen states are excluded, matching the other backends).
+  std::uint64_t count_matching(const Guard& g) const override;
+  using SimBackend::count_matching;  // + the BoolExpr convenience overload
+  std::vector<std::pair<State, std::uint64_t>> species() const override;
+
+  double rounds() const override { return time_; }
+  std::uint64_t interactions() const override { return interactions_; }
   const AgentPopulation& population() const { return pop_; }
   AgentPopulation& population() { return pop_; }
   Rng& rng() { return rng_; }
   std::size_t n() const { return pop_.size(); }
+
+ protected:
+  EventTrace* event_trace() const override { return trace_; }
 
  private:
   static constexpr std::uint32_t kNotActive = ~0u;

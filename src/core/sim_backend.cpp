@@ -1,0 +1,27 @@
+#include "core/sim_backend.hpp"
+
+#include "support/check.hpp"
+
+namespace popproto {
+
+std::optional<double> SimBackend::run_until(const Predicate& predicate,
+                                            double max_rounds,
+                                            double check_interval) {
+  POPPROTO_CHECK(check_interval > 0.0);
+  if (predicate(*this)) {
+    if (EventTrace* t = event_trace())
+      t->push(EventKind::kConvergenceDetected, rounds());
+    return rounds();
+  }
+  while (rounds() < max_rounds) {
+    run_rounds(check_interval);
+    if (predicate(*this)) {
+      if (EventTrace* t = event_trace())
+        t->push(EventKind::kConvergenceDetected, rounds());
+      return rounds();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace popproto

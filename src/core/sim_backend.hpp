@@ -1,0 +1,107 @@
+// SimBackend — the common simulation-backend interface (DESIGN.md §8).
+//
+// Three substrates simulate the same stochastic process at different
+// operating points:
+//
+//   * Engine       (core/engine.hpp)       — agent-based, one interaction
+//     (or one matching round) per step on one thread; the reference
+//     implementation of both paper schedulers.
+//   * CountEngine  (core/count_engine.hpp) — species-abundance counts with
+//     exact geometric skip-ahead; the late-stage / sparse-dynamics backend.
+//   * BatchEngine  (core/batch_engine.hpp) — sharded batch-parallel
+//     random-matching rounds (§5.2 / Thm 5.1 scheduler) across worker
+//     threads; the large-n throughput backend.
+//
+// This interface is the part every driver (benches, FaultInjector,
+// Telemetry, experiment sweeps) actually consumes: advance time, observe
+// the configuration, install fault hooks, snapshot counters. It is
+// deliberately small — substrate-specific surfaces (per-agent access,
+// churn primitives, skip-mode control, thread counts) stay on the concrete
+// classes, and the per-interaction hot paths never cross a virtual call:
+// virtual dispatch happens at the granularity of run_rounds()/step(), whose
+// bodies loop internally.
+//
+// Semantics shared by every implementation:
+//   * rounds() is parallel time — n_active sequential interactions, or one
+//     full matching, advance it by 1.
+//   * count_matching()/species()/active_n() describe the *scheduled*
+//     (non-crashed) population.
+//   * An engine with no hooks installed consumes its RNG stream exactly as
+//     an unhooked engine does (the fault layer's bit-for-bit guarantee).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/injection.hpp"
+#include "core/state.hpp"
+#include "observe/counters.hpp"
+#include "observe/event_trace.hpp"
+
+namespace popproto {
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  /// Stable identifier of the substrate: "agent", "count", or "batch".
+  virtual const char* backend_name() const = 0;
+
+  /// One scheduler activation (one interaction, one skip-ahead jump, or one
+  /// batch round, depending on the substrate). Returns false iff the
+  /// configuration is silent / cannot make progress — parallel time still
+  /// advances so driver loops terminate.
+  virtual bool step() = 0;
+
+  /// Run for (at least) `rounds` additional units of parallel time.
+  virtual void run_rounds(double rounds) = 0;
+
+  /// Run until `predicate(*this)` holds, checking every `check_interval`
+  /// rounds; nullopt on timeout. Same resolution caveat as the concrete
+  /// engines' run_until: the returned value is the parallel time of the
+  /// first *check* at which the predicate held, quantized up to the check
+  /// grid (backends whose step spans a whole round check at least once per
+  /// round). Pushes kConvergenceDetected to the attached event trace.
+  using Predicate = std::function<bool(const SimBackend&)>;
+  std::optional<double> run_until(const Predicate& predicate,
+                                  double max_rounds,
+                                  double check_interval = 1.0);
+
+  virtual double rounds() const = 0;
+  virtual std::uint64_t interactions() const = 0;
+  /// Scheduled (non-crashed) population size.
+  virtual std::uint64_t active_n() const = 0;
+
+  /// Number of scheduled agents whose state satisfies the guard (O(n) or
+  /// O(#species) scan, depending on the substrate).
+  virtual std::uint64_t count_matching(const Guard& g) const = 0;
+  std::uint64_t count_matching(const BoolExpr& e) const {
+    return count_matching(Guard(e));
+  }
+  bool exists(const BoolExpr& e) const { return count_matching(e) > 0; }
+
+  /// Snapshot of the scheduled population by species: (state, count) pairs,
+  /// counts summing to active_n(). Ordering is substrate-defined.
+  virtual std::vector<std::pair<State, std::uint64_t>> species() const = 0;
+
+  /// Telemetry counter snapshot (observe/counters.hpp).
+  virtual EngineCounters counters() const = 0;
+
+  /// Fault-layer injection points (core/injection.hpp, src/faults/).
+  virtual void set_injection_hook(InjectionHook hook) = 0;
+  virtual void set_scheduler_bias(std::optional<SchedulerBias> bias) = 0;
+
+  /// Attach (or, with nullptr, detach) a structured event sink. Not owned.
+  virtual void set_event_trace(EventTrace* trace) = 0;
+
+ protected:
+  /// The currently attached event sink (nullptr when none); lets the shared
+  /// run_until record convergence without owning a trace pointer here.
+  virtual EventTrace* event_trace() const = 0;
+};
+
+}  // namespace popproto

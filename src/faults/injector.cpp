@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
 
@@ -218,6 +219,46 @@ void FaultInjector::attach(CountEngine& engine) {
     };
   engine.set_injection_hook(std::move(hook));
   on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+void FaultInjector::attach(BatchEngine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+
+  target_.active_n = [&engine] { return engine.active_n(); };
+  target_.corrupt = [this, &engine](const CorruptSpec& spec,
+                                    std::uint64_t k) -> std::uint64_t {
+    return engine.mutate_random_agents(
+        k, rng_, [this, &spec](State old, std::uint64_t j) {
+          return (old & ~spec.mask) | (corrupt_value(spec, j) & spec.mask);
+        });
+  };
+  target_.crash = [this, &engine](std::uint64_t k) {
+    return engine.crash_random(k, rng_);
+  };
+  target_.rejoin = [this, &engine](const RejoinSpec& spec, std::uint64_t k) {
+    return spec.all ? engine.rejoin_all() : engine.rejoin_random(k, rng_);
+  };
+  target_.set_bias = [&engine](const SchedulerBias* bias) {
+    engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
+                                   : std::nullopt);
+  };
+
+  InjectionHook hook;
+  hook.on_round = [this](double round) { on_round(round); };
+  if (plan_has_dropout(plan_))
+    hook.drop_interaction = [this](Rng& rng) {
+      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
+    };
+  engine.set_injection_hook(std::move(hook));
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+void FaultInjector::attach(SimBackend& backend) {
+  if (auto* e = dynamic_cast<Engine*>(&backend)) return attach(*e);
+  if (auto* e = dynamic_cast<CountEngine*>(&backend)) return attach(*e);
+  if (auto* e = dynamic_cast<BatchEngine*>(&backend)) return attach(*e);
+  POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
 }
 
 }  // namespace popproto

@@ -26,6 +26,8 @@ namespace popproto {
 
 class Engine;
 class CountEngine;
+class BatchEngine;
+class SimBackend;
 
 class FaultInjector {
  public:
@@ -36,6 +38,11 @@ class FaultInjector {
   /// seeded trials of the same plan.
   void attach(Engine& engine);
   void attach(CountEngine& engine);
+  void attach(BatchEngine& engine);
+  /// Backend-generic entry: dispatches to the matching concrete overload
+  /// (churn and corruption need each backend's own mutation primitives, so
+  /// SimBackend alone is not enough to bind a Target).
+  void attach(SimBackend& backend);
 
   struct Applied {
     double round = 0.0;

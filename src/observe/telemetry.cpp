@@ -120,7 +120,8 @@ bool Telemetry::write_csv(const std::string& path) const {
 
 std::string telemetry_json_path(const std::string& fallback) {
   const char* env = std::getenv("POPPROTO_TELEMETRY_OUT");
-  return (env != nullptr && env[0] != '\0') ? std::string(env) : fallback;
+  return (env != nullptr && env[0] != '\0') ? std::string(env)
+                                            : anchor_to_repo_root(fallback);
 }
 
 }  // namespace popproto

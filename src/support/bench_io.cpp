@@ -77,9 +77,22 @@ bool write_bench_json(const std::string& path, const std::string& suite,
   return static_cast<bool>(f);
 }
 
+std::string anchor_to_repo_root(const std::string& path) {
+  // Benches are run from arbitrary build directories; a relative fallback
+  // like "BENCH_engine.json" would scatter trajectory files around and the
+  // repo-root copy would silently stop updating (the "lost trajectory" bug).
+  // Anchor relative fallbacks to the source tree recorded at compile time.
+#ifdef POPPROTO_REPO_ROOT
+  if (!path.empty() && path[0] != '/')
+    return std::string(POPPROTO_REPO_ROOT) + "/" + path;
+#endif
+  return path;
+}
+
 std::string bench_json_path(const std::string& fallback) {
   const char* env = std::getenv("POPPROTO_BENCH_OUT");
-  return (env != nullptr && env[0] != '\0') ? std::string(env) : fallback;
+  return (env != nullptr && env[0] != '\0') ? std::string(env)
+                                            : anchor_to_repo_root(fallback);
 }
 
 }  // namespace popproto

@@ -29,8 +29,16 @@ struct BenchRecord {
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records);
 
-/// Output path for a suite: $POPPROTO_BENCH_OUT when set, else `fallback`.
+/// Output path for a suite: $POPPROTO_BENCH_OUT when set, else `fallback`
+/// anchored to the repo root (see anchor_to_repo_root).
 std::string bench_json_path(const std::string& fallback);
+
+/// A relative path prefixed with the source-tree root captured at compile
+/// time (POPPROTO_REPO_ROOT); absolute paths and, in builds without the
+/// define, all paths pass through unchanged. Keeps trajectory files like
+/// BENCH_engine.json landing at the repo root regardless of the working
+/// directory the bench ran from.
+std::string anchor_to_repo_root(const std::string& path);
 
 // -- JSON building blocks ---------------------------------------------------
 // Shared by the bench writer above and the telemetry exporter

@@ -66,4 +66,72 @@ Summary summarize(std::vector<double> samples) {
   return s;
 }
 
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  POPPROTO_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double inv_m = 1.0 / static_cast<double>(a.size());
+  const double inv_n = 1.0 / static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    // Advance past ties in lockstep so the CDF gap is evaluated only at
+    // points where both step functions have fully stepped.
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) * inv_m -
+                             static_cast<double>(j) * inv_n));
+  }
+  return d;
+}
+
+double ks_critical_value(std::size_t m, std::size_t n, double alpha) {
+  POPPROTO_CHECK(m > 0 && n > 0 && alpha > 0.0 && alpha < 1.0);
+  // c(alpha) = sqrt(-ln(alpha / 2) / 2); the tabulated values (1.22, 1.36,
+  // 1.63, 1.95) are this formula rounded, so just compute it.
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  return c * std::sqrt((dm + dn) / (dm * dn));
+}
+
+double chi_square_two_sample(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t bins,
+                             std::size_t* dof_out) {
+  POPPROTO_CHECK(!a.empty() && !b.empty() && bins >= 2);
+  double lo = a[0], hi = a[0];
+  for (double x : a) lo = std::min(lo, x), hi = std::max(hi, x);
+  for (double x : b) lo = std::min(lo, x), hi = std::max(hi, x);
+  if (hi <= lo) {  // all mass at one point: distributions identical
+    if (dof_out) *dof_out = 0;
+    return 0.0;
+  }
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> ca(bins, 0.0), cb(bins, 0.0);
+  const auto bin_of = [&](double x) {
+    auto k = static_cast<std::size_t>((x - lo) / width);
+    return std::min(k, bins - 1);
+  };
+  for (double x : a) ++ca[bin_of(x)];
+  for (double x : b) ++cb[bin_of(x)];
+  // Standard two-sample form: sum over bins of
+  // (K1 * R_i - K2 * S_i)^2 / (R_i + S_i), K1 = sqrt(n/m), K2 = sqrt(m/n).
+  const double m = static_cast<double>(a.size());
+  const double n = static_cast<double>(b.size());
+  const double k1 = std::sqrt(n / m);
+  const double k2 = std::sqrt(m / n);
+  double stat = 0.0;
+  std::size_t nonempty = 0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double tot = ca[i] + cb[i];
+    if (tot <= 0.0) continue;
+    ++nonempty;
+    const double diff = k1 * ca[i] - k2 * cb[i];
+    stat += diff * diff / tot;
+  }
+  if (dof_out) *dof_out = nonempty > 0 ? nonempty - 1 : 0;
+  return stat;
+}
+
 }  // namespace popproto

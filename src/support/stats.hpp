@@ -47,4 +47,24 @@ Summary summarize(std::vector<double> samples);
 /// Linear interpolation quantile of a sorted sample, q in [0, 1].
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+// -- Two-sample distribution comparison (scheduler-equivalence tests) -------
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup_x |F_a(x) - F_b(x)| over the
+/// empirical CDFs. Copies and sorts both samples; both must be non-empty.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Critical KS value at significance `alpha` (two-sided asymptotic form,
+/// c(alpha) * sqrt((m + n) / (m n)); alpha in {0.1, 0.05, 0.01, 0.001} use
+/// exact table coefficients, others the general formula).
+double ks_critical_value(std::size_t m, std::size_t n, double alpha);
+
+/// Two-sample chi-square statistic on shared equal-width bins spanning the
+/// pooled range, with the standard scaling for unequal sample sizes. Bins
+/// where both samples are empty contribute nothing. Returns the statistic;
+/// degrees of freedom = (#non-empty bins - 1), reported via `dof_out` when
+/// non-null. Both samples must be non-empty and `bins` >= 2.
+double chi_square_two_sample(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t bins,
+                             std::size_t* dof_out = nullptr);
+
 }  // namespace popproto

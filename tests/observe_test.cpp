@@ -13,6 +13,7 @@
 #include "observe/profile.hpp"
 #include "observe/telemetry.hpp"
 #include "protocols/baselines.hpp"
+#include "support/bench_io.hpp"
 #include "support/rng.hpp"
 
 namespace popproto {
@@ -298,9 +299,14 @@ TEST(Telemetry, WritesCsvCounterRows) {
 }
 
 TEST(Telemetry, PathHonorsEnvOverride) {
-  // No override set in the test environment: fallback passes through.
+  // No override set: the relative fallback is anchored to the repo root
+  // (same rule as BENCH_*.json — the trajectory must not land in whatever
+  // directory the binary runs from), and the env override wins verbatim.
   unsetenv("POPPROTO_TELEMETRY_OUT");
-  EXPECT_EQ(telemetry_json_path("TELEMETRY_x.json"), "TELEMETRY_x.json");
+  EXPECT_EQ(telemetry_json_path("TELEMETRY_x.json"),
+            anchor_to_repo_root("TELEMETRY_x.json"));
+  const std::string anchored = telemetry_json_path("TELEMETRY_x.json");
+  EXPECT_EQ(anchored.substr(anchored.size() - 17), "/TELEMETRY_x.json");
   setenv("POPPROTO_TELEMETRY_OUT", "/tmp/override.json", 1);
   EXPECT_EQ(telemetry_json_path("TELEMETRY_x.json"), "/tmp/override.json");
   unsetenv("POPPROTO_TELEMETRY_OUT");

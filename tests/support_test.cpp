@@ -260,5 +260,58 @@ TEST(Fitting, DescribePolylogMentionsPower) {
   EXPECT_NE(describe_polylog(c).find("(ln n)^3"), std::string::npos);
 }
 
+TEST(TwoSample, KsZeroOnIdenticalSamples) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(TwoSample, KsOneOnDisjointSupports) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(TwoSample, KsDetectsShiftButNotNoise) {
+  // Same uniform law twice vs a clearly shifted copy, against the 1%
+  // critical value at these sample sizes.
+  Rng rng(5);
+  std::vector<double> a, b, shifted;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+    shifted.push_back(rng.uniform() + 0.5);
+  }
+  const double crit = ks_critical_value(a.size(), b.size(), 0.01);
+  EXPECT_LT(ks_statistic(a, b), crit);
+  EXPECT_GT(ks_statistic(a, shifted), crit);
+}
+
+TEST(TwoSample, KsCriticalMatchesTable) {
+  // c(0.05) = 1.358..., equal sizes m = n = 100 -> 1.358 * sqrt(2/100).
+  EXPECT_NEAR(ks_critical_value(100, 100, 0.05), 1.358 * std::sqrt(0.02),
+              1e-3);
+}
+
+TEST(TwoSample, ChiSquareZeroOnIdenticalSamples) {
+  const std::vector<double> a = {1, 1, 2, 3, 5, 8, 13};
+  std::size_t dof = 99;
+  EXPECT_DOUBLE_EQ(chi_square_two_sample(a, a, 4, &dof), 0.0);
+  EXPECT_GT(dof, 0u);
+}
+
+TEST(TwoSample, ChiSquareSeparatesDifferentLaws) {
+  Rng rng(6);
+  std::vector<double> a, b, shifted;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+    shifted.push_back(0.5 * rng.uniform());
+  }
+  std::size_t dof = 0;
+  const double same = chi_square_two_sample(a, b, 8, &dof);
+  EXPECT_GE(dof, 4u);
+  EXPECT_LT(same, 3.0 * static_cast<double>(dof));
+  const double diff = chi_square_two_sample(a, shifted, 8, &dof);
+  EXPECT_GT(diff, 10.0 * static_cast<double>(dof));
+}
+
 }  // namespace
 }  // namespace popproto

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the in-repo documentation (CI `docs` job).
+
+Walks the repo's markdown files and verifies every inline link:
+
+  * relative file links must point at an existing file or directory
+    (checked against the git working tree, so build/ artifacts don't
+    mask a broken link locally);
+  * `#anchor` fragments (bare or on a .md target) must match a heading
+    in the target file, using GitHub's heading-slug rules;
+  * http(s)/mailto links are skipped — CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as `file:line: message`).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories that never contain documentation sources.
+SKIP_DIRS = {".git", "build", ".github"}
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(title: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces -> dashes."""
+    # Inline code/emphasis markers vanish, their contents stay.
+    title = re.sub(r"[`*_]", "", title)
+    # Strip trailing markdown links in headings: keep the text.
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def heading_slugs(path: str) -> set:
+    slugs = {}
+    out = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_file(path: str, slug_cache: dict) -> list:
+    failures = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            targets = INLINE_LINK.findall(line) + IMAGE_LINK.findall(line)
+            for target in targets:
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                    continue
+                base, _, fragment = target.partition("#")
+                if base:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                else:
+                    resolved = path  # bare '#anchor'
+                rel = os.path.relpath(path, REPO)
+                if not os.path.exists(resolved):
+                    failures.append(
+                        f"{rel}:{lineno}: broken link target '{target}'")
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if resolved not in slug_cache:
+                        slug_cache[resolved] = heading_slugs(resolved)
+                    if fragment.lower() not in slug_cache[resolved]:
+                        failures.append(
+                            f"{rel}:{lineno}: no heading for anchor "
+                            f"'#{fragment}' in '{base or rel}'")
+    return failures
+
+
+def main() -> int:
+    slug_cache = {}
+    failures = []
+    checked = 0
+    for path in sorted(markdown_files()):
+        checked += 1
+        failures.extend(check_file(path, slug_cache))
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} broken link(s) across {checked} files")
+        return 1
+    print(f"all links OK across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
