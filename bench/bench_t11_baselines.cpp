@@ -4,14 +4,18 @@
 // The shape to reproduce: the 4-state baseline's time explodes with n while
 // ours stays polylog (crossover), and the 3-state baseline's accuracy
 // collapses at small gaps while ours stays exact.
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "core/count_engine.hpp"
 #include "lang/runtime.hpp"
 #include "protocols/baselines.hpp"
 #include "protocols/majority.hpp"
+#include "support/bench_io.hpp"
 
 using namespace popproto;
 
@@ -145,5 +149,56 @@ int main(int argc, char** argv) {
   acc.print(std::cout,
             "accuracy vs gap at n=4096 (AM3 needs gap Ω(sqrt(n log n)))",
             ctx.csv);
+
+  // --- Engine-mode series: direct vs skip vs batch on the DV12 workload. ---
+  // The Θ(n log n)-interaction exact-majority baseline is the workload the
+  // batched sampler (DESIGN.md §9) exists for; record all three engine modes
+  // into the BENCH_engine.json trajectory so the speedup is tracked per
+  // commit alongside the kernel microbenches.
+  // n is modest because the direct-mode run pays the full Θ(n^2 log n)
+  // scheduler-interaction cost the other two modes exist to avoid.
+  std::vector<BenchRecord> recs;
+  const std::uint64_t n_eng = 1 << 11;
+  double direct_eff = 0.0;
+  const std::pair<const char*, CountEngineMode> eng_modes[] = {
+      {"t11_dv12_direct", CountEngineMode::kDirect},
+      {"t11_dv12_skip", CountEngineMode::kSkip},
+      {"t11_dv12_batch", CountEngineMode::kBatch}};
+  for (const auto& [rec_name, mode] : eng_modes) {
+    auto vars = make_var_space();
+    const Protocol p = make_dv12_majority_protocol(vars);
+    const VarId ma = *vars->find("MA");
+    const VarId mb = *vars->find("MB");
+    const VarId st = *vars->find("STRONG");
+    CountEngine eng(p,
+                    {{var_bit(ma) | var_bit(st), n_eng / 2 + 1},
+                     {var_bit(mb) | var_bit(st), n_eng / 2 - 1}},
+                    0x7B15, mode);
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.run_until(
+        [&](const CountEngine& e) {
+          return e.count_matching(BoolExpr::var(ma)) == n_eng;
+        },
+        1e9);
+    const double wall = std::max(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count(),
+        1e-9);
+    BenchRecord rec;
+    rec.name = rec_name;
+    rec.wall_seconds = wall;
+    rec.interactions_per_sec = static_cast<double>(eng.interactions()) / wall;
+    rec.effective_interactions_per_sec =
+        static_cast<double>(eng.effective_interactions()) / wall;
+    rec.extra.emplace_back("n", static_cast<double>(n_eng));
+    if (mode == CountEngineMode::kDirect)
+      direct_eff = rec.effective_interactions_per_sec;
+    else if (direct_eff > 0.0)
+      rec.extra.emplace_back("speedup_vs_direct_effective",
+                             rec.effective_interactions_per_sec / direct_eff);
+    recs.push_back(std::move(rec));
+  }
+  write_bench_json(bench_json_path("BENCH_engine.json"), "bench_t11_baselines",
+                   recs);
   return 0;
 }

@@ -1,14 +1,18 @@
 // T12 — §1.2 comparison for leader election: fratricide (folklore 2-state,
 // Θ(n)) vs LeaderElection (this paper, O(log^2 n)): who wins and where the
 // crossover falls.
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "core/count_engine.hpp"
 #include "lang/runtime.hpp"
 #include "protocols/baselines.hpp"
 #include "protocols/leader_election.hpp"
+#include "support/bench_io.hpp"
 
 using namespace popproto;
 
@@ -76,5 +80,49 @@ int main(int argc, char** argv) {
       break;
     }
   }
+
+  // --- Engine-mode series: direct vs skip vs batch on fratricide. ---
+  // The Θ(n) baseline is effective-interaction sparse late in the run (only
+  // leader-leader meetings change state), so this series exercises the
+  // batch→skip hysteresis handoff (DESIGN.md §9) and records all three modes
+  // into the BENCH_engine.json trajectory.
+  std::vector<BenchRecord> recs;
+  const std::uint64_t n_eng = 1 << 12;
+  double direct_eff = 0.0;
+  const std::pair<const char*, CountEngineMode> eng_modes[] = {
+      {"t12_fratricide_direct", CountEngineMode::kDirect},
+      {"t12_fratricide_skip", CountEngineMode::kSkip},
+      {"t12_fratricide_batch", CountEngineMode::kBatch}};
+  for (const auto& [rec_name, mode] : eng_modes) {
+    auto vars = make_var_space();
+    const Protocol p = make_fratricide_protocol(vars);
+    const VarId l = *vars->find("L");
+    CountEngine eng(p, {{var_bit(l), n_eng}}, 0x7C15, mode);
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.run_until(
+        [&](const CountEngine& e) {
+          return e.count_matching(BoolExpr::var(l)) == 1;
+        },
+        1e9);
+    const double wall = std::max(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count(),
+        1e-9);
+    BenchRecord rec;
+    rec.name = rec_name;
+    rec.wall_seconds = wall;
+    rec.interactions_per_sec = static_cast<double>(eng.interactions()) / wall;
+    rec.effective_interactions_per_sec =
+        static_cast<double>(eng.effective_interactions()) / wall;
+    rec.extra.emplace_back("n", static_cast<double>(n_eng));
+    if (mode == CountEngineMode::kDirect)
+      direct_eff = rec.effective_interactions_per_sec;
+    else if (direct_eff > 0.0)
+      rec.extra.emplace_back("speedup_vs_direct_effective",
+                             rec.effective_interactions_per_sec / direct_eff);
+    recs.push_back(std::move(rec));
+  }
+  write_bench_json(bench_json_path("BENCH_engine.json"), "bench_t12_le_baselines",
+                   recs);
   return 0;
 }

@@ -4,12 +4,27 @@
 #include <cmath>
 #include <limits>
 
+#include "core/pair_sampler.hpp"
+
 namespace popproto {
 
 namespace {
 constexpr std::uint64_t kAutoWindow = 512;
 constexpr double kSwitchToSkipBelow = 0.08;
 constexpr double kSwitchToDirectAbove = 0.25;
+
+// Default batch cap when set_batch_size(0). A batch ends at its first
+// collision anyway, so the cap only needs to clear the collision-free run
+// distribution (E[run] ~ 0.63 sqrt(n) by the birthday bound, tail ~ 2 sqrt(n));
+// 2 sqrt(n) lets nearly every run end naturally without truncation, and the
+// sweep in EXPERIMENTS.md shows throughput is flat past that point. Clamped
+// so tiny populations still batch and huge ones keep per-batch scratch
+// bounded.
+std::uint64_t auto_batch_cap(std::uint64_t n) {
+  const auto r =
+      static_cast<std::uint64_t>(2.0 * std::sqrt(static_cast<double>(n)));
+  return std::clamp<std::uint64_t>(r, 8, std::uint64_t{1} << 16);
+}
 }  // namespace
 
 CountEngine::CountEngine(const Protocol& protocol,
@@ -308,8 +323,250 @@ bool CountEngine::skip_step() {
   return true;
 }
 
+// Batch aggregation assumes every interaction is an unbiased uniform pair
+// draw (SchedulerBias breaks that) and resolves same-pair interactions in
+// aggregate (a per-interaction dropout predicate cannot be consulted one
+// draw at a time). Either hook routes kBatch back through the scalar paths.
+bool CountEngine::batch_allowed() const {
+  return !bias_.has_value() && !injection_.drop_interaction;
+}
+
+std::size_t CountEngine::batch_species_slot(State s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  index_.emplace(s, states_.size());
+  states_.push_back(s);
+  counts_.push_back(0);
+  bat_touched_.push_back(0);
+  return states_.size() - 1;
+}
+
+std::uint64_t CountEngine::batch_apply_pair(std::size_t ia, std::size_t ib,
+                                            std::uint64_t k) {
+  // The k initiators (species ia) and k responders (species ib) are already
+  // out of counts_; this decides their post-interaction states and deposits
+  // them into the touched multiset. Conditioned on the block being
+  // collision-free, the k fused draws are i.i.d., so the number that change
+  // state is Binomial(k, change_weight) and the changing ones distribute
+  // multinomially over the conditional outcome categories.
+  const State sa = states_[ia];
+  const State sb = states_[ib];
+  TransitionCache::ChangeDistView v;
+  if (!use_cache_ || !cache_.change_dist(sa, sb, &v)) {
+    bat_cum_.clear();
+    bat_res_.clear();
+    v.change_weight = cache_.change_dist_uncached(sa, sb, bat_cum_, bat_res_);
+    v.cum = bat_cum_.data();
+    v.res = bat_res_.data();
+    v.count = static_cast<std::uint32_t>(bat_cum_.size());
+  }
+  std::uint64_t changed = 0;
+  if (v.count > 0 && v.change_weight > 0.0)
+    changed = sample_binomial(rng_, k, std::min(v.change_weight, 1.0));
+  if (changed > 0) {
+    if (v.count == 1) {
+      const PairOutcome o = v.res[0];
+      bat_touched_[batch_species_slot(o.a)] += changed;
+      bat_touched_[batch_species_slot(o.b)] += changed;
+    } else {
+      // Category masses are the breakpoint gaps (absolute fused mass;
+      // cum[count-1] == change_weight keeps the conditionals exact).
+      bat_gap_.resize(v.count);
+      bat_gap_[0] = v.cum[0];
+      for (std::uint32_t c = 1; c < v.count; ++c)
+        bat_gap_[c] = v.cum[c] - v.cum[c - 1];
+      // Snapshot outcomes first: batch_species_slot may grow states_ and the
+      // uncached path's view aliases bat_res_ which we are done mutating,
+      // but the cached view's pointers die on the next cache build.
+      bat_ores_.assign(v.res, v.res + v.count);
+      sample_multinomial(rng_, changed, bat_gap_.data(), v.count,
+                         v.change_weight, bat_out_);
+      for (std::uint32_t c = 0; c < v.count; ++c) {
+        if (bat_out_[c] == 0) continue;
+        bat_touched_[batch_species_slot(bat_ores_[c].a)] += bat_out_[c];
+        bat_touched_[batch_species_slot(bat_ores_[c].b)] += bat_out_[c];
+      }
+    }
+  }
+  bat_touched_[ia] += k - changed;
+  bat_touched_[ib] += k - changed;
+  effective_ += changed;
+  return changed;
+}
+
+void CountEngine::batch_collision_interaction(std::uint64_t* m_total,
+                                              std::uint64_t* u_total) {
+  // The interaction that ended a collision-free run, conditioned on "not
+  // collision-free": at least one participant repeats a touched agent.
+  // With u touched and m untouched agents the ordered membership categories
+  // weigh  TT: u(u-1)   TU: u*m   UT: m*u   (UU is the excluded
+  // collision-free event), all over the same denominator n(n-1) - m(m-1),
+  // so an integer draw over the three weights is the exact conditional.
+  const std::uint64_t u = *u_total;
+  const std::uint64_t m = *m_total;
+  const std::uint64_t wtt = u > 0 ? u * (u - 1) : 0;
+  const std::uint64_t wtu = u * m;
+  const std::uint64_t r = rng_.below(wtt + 2 * wtu);
+  const bool init_touched = r < wtt + wtu;
+  const bool resp_touched = r < wtt || r >= wtt + wtu;
+  const auto pick = [&](const std::vector<std::uint64_t>& pool,
+                        std::uint64_t total) {
+    std::uint64_t x = rng_.below(total);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (x < pool[i]) return i;
+      x -= pool[i];
+    }
+    POPPROTO_CHECK_MSG(false, "batch collision sampling fell through");
+    return std::size_t{0};
+  };
+  // Remove the initiator from its pool before drawing the responder, so a
+  // TT pair never reuses the same agent.
+  std::size_t ia, ib;
+  if (init_touched) {
+    ia = pick(bat_touched_, *u_total);
+    --bat_touched_[ia];
+    --*u_total;
+  } else {
+    ia = pick(counts_, *m_total);
+    --counts_[ia];
+    --*m_total;
+  }
+  if (resp_touched) {
+    ib = pick(bat_touched_, *u_total);
+    --bat_touched_[ib];
+    --*u_total;
+  } else {
+    ib = pick(counts_, *m_total);
+    --counts_[ib];
+    --*m_total;
+  }
+  const State sa = states_[ia];
+  const State sb = states_[ib];
+  const double u01 = rng_.uniform();
+  const PairOutcome o = use_cache_ ? cache_.sample(sa, sb, u01)
+                                   : cache_.sample_uncached(sa, sb, u01);
+  ++bat_touched_[batch_species_slot(o.a)];
+  ++bat_touched_[batch_species_slot(o.b)];
+  *u_total += 2;
+  if (o.a != sa || o.b != sb) ++effective_;
+  ++ctr_.batch_collisions;
+}
+
+bool CountEngine::batch_step(double limit) {
+  // Interaction budget until `limit` (round boundary or run target), capped
+  // by the batch size. Guard the infinite-limit case before casting.
+  const double room = (limit - time_) * static_cast<double>(n_);
+  const std::uint64_t cap = batch_size_ ? batch_size_ : auto_batch_cap(n_);
+  std::uint64_t budget = cap;
+  if (room < static_cast<double>(cap))
+    budget = room >= 1.0 ? static_cast<std::uint64_t>(room) : 1;
+
+  compact();  // dense nonzero counts for the hypergeometric scans
+  bat_touched_.assign(states_.size(), 0);
+  std::uint64_t m_total = n_;  // untouched agents (still in counts_)
+  std::uint64_t u_total = 0;   // touched agents (in bat_touched_)
+  const std::uint64_t eff0 = effective_;
+  std::uint64_t done = 0;
+  // One batch = collision-free runs up to the first collision interaction
+  // (or the budget). Ending the batch at the first collision is the
+  // throughput sweet spot: merging the touched agents back resets the
+  // collision hazard, so every run gets the full-length ~0.63 sqrt(n)
+  // amortization for its O(species^2) distributional draws — continuing
+  // past a collision would only buy progressively shorter runs (the hazard
+  // grows with the touched count) at the same per-run sampling cost.
+  while (done < budget) {
+    bool collided = false;
+    const std::uint64_t run =
+        sample_collision_run(rng_, n_, m_total, budget - done, &collided);
+    if (run > 0) {
+      // Collision-free block of `run` ordered pairs over 2*run distinct
+      // untouched agents: initiator species counts are one multivariate
+      // hypergeometric draw; each initiator row's responders are a nested
+      // one from the pool with all initiators removed (exact by
+      // exchangeability of the without-replacement sequence).
+      sample_multivariate_hypergeometric(rng_, counts_, m_total, run,
+                                         bat_di_);
+      for (std::size_t i = 0; i < bat_di_.size(); ++i)
+        counts_[i] -= bat_di_[i];
+      m_total -= run;
+      const std::size_t rows = bat_di_.size();  // slots may grow mid-loop
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::uint64_t di = bat_di_[i];
+        if (di == 0) continue;
+        sample_multivariate_hypergeometric(rng_, counts_, m_total, di,
+                                           bat_row_);
+        m_total -= di;
+        const std::size_t cols = bat_row_.size();
+        for (std::size_t j = 0; j < cols; ++j) {
+          if (bat_row_[j] == 0) continue;
+          counts_[j] -= bat_row_[j];
+          batch_apply_pair(i, j, bat_row_[j]);
+        }
+      }
+      u_total += 2 * run;
+      done += run;
+      ++ctr_.batch_blocks;
+    }
+    if (collided && done < budget) {
+      batch_collision_interaction(&m_total, &u_total);
+      ++done;
+      break;
+    }
+    if (!collided && m_total >= 2) break;  // budget reached collision-free
+    // Otherwise the untouched pool ran dry before the budget (m_total < 2):
+    // loop again — the next sample_collision_run returns an immediate
+    // collision and the batch ends on it.
+  }
+  // Merge the touched multiset back into the scheduled counts; from here on
+  // the next block may touch these agents again, which is exact because
+  // their updated states are now part of the configuration.
+  for (std::size_t i = 0; i < bat_touched_.size(); ++i)
+    counts_[i] += bat_touched_[i];
+  interactions_ += done;
+  window_steps_ += done;
+  window_effective_ += effective_ - eff0;
+  time_ += static_cast<double>(done) / static_cast<double>(n_);
+  if (effective_ == eff0) {
+    // A whole batch of no-ops: check for silence so driver loops terminate.
+    rebuild_events();
+    if (events_total_weight_ <= 0.0) silent_ = true;
+  }
+  return !silent_;
+}
+
+void CountEngine::maybe_toggle_batch_skip() {
+  // Same hysteresis thresholds as kAuto, with the batch sampler playing
+  // direct mode's role: a batch whose effective fraction collapses hands
+  // off to skip-ahead (one event draw per *effective* interaction beats
+  // sqrt(n)-sized batches of no-ops), and skip hands back once the total
+  // change weight recovers.
+  if (!use_skip_) {
+    if (window_steps_ >= kAutoWindow &&
+        static_cast<double>(window_effective_) /
+                static_cast<double>(window_steps_) <
+            kSwitchToSkipBelow) {
+      use_skip_ = true;
+      window_steps_ = window_effective_ = 0;
+    }
+  } else if (events_total_weight_ > kSwitchToDirectAbove) {
+    use_skip_ = false;
+    window_steps_ = window_effective_ = 0;
+  }
+}
+
 bool CountEngine::step() {
   if (silent_) return false;
+  if (mode_ == CountEngineMode::kBatch && batch_allowed()) {
+    maybe_toggle_batch_skip();
+    if (!use_skip_) {
+      const double limit =
+          injection_.on_round ? last_injection_round_ + 1.0
+                              : std::numeric_limits<double>::infinity();
+      const bool alive = batch_step(limit);
+      maybe_fire_injection();
+      return alive;
+    }
+  }
   if (mode_ == CountEngineMode::kAuto) {
     if (!use_skip_ && window_steps_ >= kAutoWindow) {
       const double frac = static_cast<double>(window_effective_) /
@@ -351,6 +608,14 @@ void CountEngine::run_rounds(double rounds_to_run) {
       maybe_fire_injection();
       continue;
     }
+    if (mode_ == CountEngineMode::kBatch && batch_allowed()) {
+      maybe_toggle_batch_skip();
+      if (!use_skip_) {
+        batch_step(limit);
+        maybe_fire_injection();
+        continue;
+      }
+    }
     if ((use_skip_ || mode_ == CountEngineMode::kSkip) && skip_allowed()) {
       rebuild_events();
       if (events_total_weight_ <= 0.0) {
@@ -389,8 +654,9 @@ void CountEngine::run_rounds(double rounds_to_run) {
       } else {
         apply_change(chosen->species_a, chosen->species_b);
       }
-      // Re-evaluate auto switching.
-      if (mode_ == CountEngineMode::kAuto &&
+      // Re-evaluate auto/batch switching.
+      if ((mode_ == CountEngineMode::kAuto ||
+           mode_ == CountEngineMode::kBatch) &&
           events_total_weight_ > kSwitchToDirectAbove)
         use_skip_ = false;
       maybe_fire_injection();

@@ -35,7 +35,7 @@
 
 namespace popproto {
 
-enum class CountEngineMode { kDirect, kSkip, kAuto };
+enum class CountEngineMode { kDirect, kSkip, kAuto, kBatch };
 
 /// Implements SimBackend (core/sim_backend.hpp) as the "count" substrate.
 /// The backend-generic run_until (predicate over SimBackend) is reachable
@@ -71,6 +71,20 @@ class CountEngine final : public SimBackend {
   /// core/transition_cache.hpp).
   void set_transition_cache(bool enabled) { use_cache_ = enabled; }
   const TransitionCache& transition_cache() const { return cache_; }
+
+  // -- Batched collision sampling (kBatch mode, DESIGN.md §9) ---------------
+  /// Cap on the number of interactions one batch may span; 0 (default)
+  /// auto-tunes to ~2·√n. A batch ends at its first collision regardless, and
+  /// the collision-free run length is birthday-bounded at ~0.63·√n, so the
+  /// cap matters only as a truncation bound (fault boundaries, round limits);
+  /// past ~2·√n throughput is flat.
+  void set_batch_size(std::uint64_t b) { batch_size_ = b; }
+  std::uint64_t batch_size() const { return batch_size_; }
+  /// True while the engine is currently taking skip-ahead steps (kSkip, an
+  /// engaged kAuto, or a kBatch engine hysteresis-parked in skip).
+  bool skip_engaged() const {
+    return mode_ == CountEngineMode::kSkip || use_skip_;
+  }
 
   /// Fault-layer injection points (see core/injection.hpp). Unset hooks
   /// leave the RNG stream and trajectory bit-for-bit unchanged. While a
@@ -144,6 +158,27 @@ class CountEngine final : public SimBackend {
   void compact();
   void direct_step();
   bool skip_step();
+  /// One batch of up to `limit`-capped interactions via collision sampling
+  /// (DESIGN.md §9): a collision-free block of ~√n interactions drawn as
+  /// aggregate species-pair counts plus its boundary collision interaction.
+  /// Returns false iff the configuration is silent.
+  bool batch_step(double limit);
+  bool batch_allowed() const;
+  /// Index of `s` in states_ (appending a zero-count slot if new), keeping
+  /// the batch scratch vectors sized in lockstep.
+  std::size_t batch_species_slot(State s);
+  /// Apply `k` aggregated interactions of the ordered species pair (ia, ib)
+  /// into the touched multiset; returns the number that changed state.
+  std::uint64_t batch_apply_pair(std::size_t ia, std::size_t ib,
+                                 std::uint64_t k);
+  /// Process the single interaction that ended a collision-free run: at
+  /// least one participant re-drawn from the `touched` multiset. Updates the
+  /// caller's untouched/touched totals in place.
+  void batch_collision_interaction(std::uint64_t* m_total,
+                                   std::uint64_t* u_total);
+  /// Batch/skip hysteresis for kBatch (same thresholds as kAuto, with the
+  /// batch sampler in direct mode's role).
+  void maybe_toggle_batch_skip();
   void rebuild_events();
   /// Apply one state-changing interaction to the ordered species pair,
   /// drawing from the conditional-on-change fused distribution.
@@ -184,6 +219,17 @@ class CountEngine final : public SimBackend {
   std::uint64_t window_effective_ = 0;
   std::vector<Event> events_;
   double events_total_weight_ = 0.0;
+  // Batch-mode scratch (sized to states_.size() inside batch_step; kept as
+  // members so steady-state batches allocate nothing).
+  std::uint64_t batch_size_ = 0;
+  std::vector<std::uint64_t> bat_touched_;
+  std::vector<std::uint64_t> bat_di_;
+  std::vector<std::uint64_t> bat_row_;
+  std::vector<std::uint64_t> bat_out_;
+  std::vector<double> bat_gap_;          // change-category masses
+  std::vector<PairOutcome> bat_ores_;    // outcome snapshot (view-safe)
+  std::vector<double> bat_cum_;          // uncached change-dist scratch
+  std::vector<PairOutcome> bat_res_;
 };
 
 }  // namespace popproto

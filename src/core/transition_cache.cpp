@@ -117,6 +117,42 @@ PairOutcome TransitionCache::sample_change_uncached(State sa, State sb,
   return last;  // float slack: fall back to the last changing outcome
 }
 
+bool TransitionCache::change_dist(State sa, State sb, ChangeDistView* out) {
+  const Dist* d = pair_dist(sa, sb);
+  if (d == nullptr) return false;
+  out->change_weight = d->change_weight;
+  out->cum = ccum_.data() + d->cbegin;
+  out->res = cres_.data() + d->cbegin;
+  out->count = d->cend - d->cbegin;
+  return true;
+}
+
+double TransitionCache::change_dist_uncached(
+    State sa, State sb, std::vector<double>& cum,
+    std::vector<PairOutcome>& res) const {
+  // Same enumeration as build_dist's push_c: running change mass per
+  // changing outcome, adjacent equal-result segments merged.
+  const std::size_t base = cum.size();
+  double cw = 0.0;
+  for (const Slot& s : slots_) {
+    if (s.rule == nullptr || !s.rule->matches(sa, sb)) continue;
+    const auto& outs = s.rule->outcomes();
+    for (std::uint32_t k = s.obegin; k != s.oend; ++k) {
+      const Outcome& o = outs[k - s.obegin];
+      const PairOutcome r{o.initiator.apply(sa), o.responder.apply(sb)};
+      if (!changes(r, sa, sb)) continue;
+      cw += omass_[k];
+      if (cum.size() > base && res.back().a == r.a && res.back().b == r.b) {
+        cum.back() = cw;
+      } else {
+        cum.push_back(cw);
+        res.push_back(r);
+      }
+    }
+  }
+  return cw;
+}
+
 std::uint32_t TransitionCache::intern(State s) {
   std::size_t i = hash_state(s) & map_mask_;
   while (map_vals_[i] != kNoIndex) {

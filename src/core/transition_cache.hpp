@@ -98,6 +98,28 @@ class TransitionCache {
   PairOutcome sample_change(State sa, State sb, double u01);
   PairOutcome sample_change_uncached(State sa, State sb, double u01) const;
 
+  /// View of a pair's conditional-on-change outcome distribution as the
+  /// memoized breakpoint arrays: `count` categories with cumulative masses
+  /// `cum[0..count)` (absolute fused mass; cum[count-1] == change_weight)
+  /// and result pairs `res[0..count)`. `count == 0` iff the pair never
+  /// changes state. Serves the batch sampler (DESIGN.md §9), which turns K
+  /// same-pair interactions into one multinomial over these categories.
+  struct ChangeDistView {
+    double change_weight = 0.0;
+    const double* cum = nullptr;
+    const PairOutcome* res = nullptr;
+    std::uint32_t count = 0;
+  };
+  /// Memoized view (builds the pair on first sight). Pointers are valid
+  /// only until the next cache build — consume before touching another
+  /// pair. Returns false when the pair cannot be memoized (state cap);
+  /// callers then fall back to change_dist_uncached.
+  bool change_dist(State sa, State sb, ChangeDistView* out);
+  /// Same distribution enumerated into caller storage (appended), no memo.
+  /// Returns the pair's change weight.
+  double change_dist_uncached(State sa, State sb, std::vector<double>& cum,
+                              std::vector<PairOutcome>& res) const;
+
   // -- Index-based fast path ------------------------------------------------
   // A caller that tracks interned indices alongside its agents (Engine keeps
   // one per agent) skips the State -> index hash probe entirely: the

@@ -45,6 +45,11 @@ struct EngineCounters {
   std::uint64_t rejoin_events = 0;
   /// Agents rewritten by targeted corruption (CountEngine fault surface).
   std::uint64_t corrupted_agents = 0;
+  /// Collision-free blocks sampled in batch mode (CountEngine kBatch); each
+  /// block aggregates ~sqrt(n) interactions into O(species^2) draws.
+  std::uint64_t batch_blocks = 0;
+  /// Run-ending collision interactions resolved individually in batch mode.
+  std::uint64_t batch_collisions = 0;
 
   // -- Detailed tier (0 unless built with POPPROTO_PROFILE) ----------------
   /// Indexed-path cache resolutions (per-draw hit counting).
@@ -74,6 +79,8 @@ struct EngineCounters {
         {"crash_events", static_cast<double>(crash_events)},
         {"rejoin_events", static_cast<double>(rejoin_events)},
         {"corrupted_agents", static_cast<double>(corrupted_agents)},
+        {"batch_blocks", static_cast<double>(batch_blocks)},
+        {"batch_collisions", static_cast<double>(batch_collisions)},
     };
   }
 };

@@ -1,11 +1,176 @@
 #include "support/bench_io.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
+#include <sstream>
 
 namespace popproto {
+
+namespace {
+
+// Git revision stamped into history entries: runtime override first (CI sets
+// POPPROTO_GIT_SHA on the exact commit under test), then the revision the
+// library was compiled from, then "unknown".
+std::string build_git_sha() {
+  const char* env = std::getenv("POPPROTO_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef POPPROTO_GIT_SHA
+  return POPPROTO_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+// Position just past the ':' of a top-level `"key":` in `text`, or npos.
+// Structural scan — tracks strings/escapes and brace/bracket depth, so keys
+// nested inside values or quoted inside strings cannot match.
+std::size_t find_top_level_key(const std::string& text,
+                               const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  bool in_str = false, esc = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_str) {
+      if (esc)
+        esc = false;
+      else if (c == '\\')
+        esc = true;
+      else if (c == '"')
+        in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      if (depth == 1 && text.compare(i, needle.size(), needle) == 0) {
+        std::size_t j = i + needle.size();
+        while (j < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[j])))
+          ++j;
+        if (j < text.size() && text[j] == ':') return j + 1;
+      }
+      in_str = true;
+      continue;
+    }
+    if (c == '{' || c == '[')
+      ++depth;
+    else if (c == '}' || c == ']')
+      --depth;
+  }
+  return std::string::npos;
+}
+
+// Inner span (without the outer brackets/quotes) of the array or string
+// value starting at/after `pos`. Returns false on malformed input.
+bool slice_value_inner(const std::string& text, std::size_t pos,
+                       std::string* out) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  if (pos >= text.size()) return false;
+  if (text[pos] == '"') {
+    bool esc = false;
+    for (std::size_t i = pos + 1; i < text.size(); ++i) {
+      if (esc)
+        esc = false;
+      else if (text[i] == '\\')
+        esc = true;
+      else if (text[i] == '"') {
+        *out = text.substr(pos + 1, i - pos - 1);
+        return true;
+      }
+    }
+    return false;
+  }
+  if (text[pos] == '[') {
+    bool in_str = false, esc = false;
+    int depth = 0;
+    for (std::size_t i = pos; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_str) {
+        if (esc)
+          esc = false;
+        else if (c == '\\')
+          esc = true;
+        else if (c == '"')
+          in_str = false;
+        continue;
+      }
+      if (c == '"') {
+        in_str = true;
+      } else if (c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          *out = text.substr(pos + 1, i - pos - 1);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// Prior history entries (comma-joined, no outer brackets) carried forward
+// from an existing trajectory file. A legacy file (pre-history schema) gets
+// its whole snapshot backfilled as the first entry, stamped "unknown"/0 —
+// the code that produced it can no longer be identified.
+std::string carry_forward_history(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string prev = ss.str();
+  if (prev.empty()) return {};
+  std::string inner;
+  const std::size_t hpos = find_top_level_key(prev, "history");
+  if (hpos != std::string::npos && slice_value_inner(prev, hpos, &inner))
+    return inner;
+  const std::size_t rpos = find_top_level_key(prev, "records");
+  if (rpos == std::string::npos || !slice_value_inner(prev, rpos, &inner))
+    return {};
+  std::string prev_suite = "unknown";
+  const std::size_t spos = find_top_level_key(prev, "suite");
+  if (spos != std::string::npos) slice_value_inner(prev, spos, &prev_suite);
+  std::string entry;
+  entry += "\n    {\"git_sha\": \"unknown\", \"timestamp\": 0, \"suite\": ";
+  json_append_string(entry, prev_suite);
+  entry += ", \"records\": [" + inner + "]}";
+  return entry;
+}
+
+void append_records_array(std::string& out,
+                          const std::vector<BenchRecord>& records,
+                          const char* indent) {
+  out += "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += indent;
+    out += "{\"name\": ";
+    json_append_string(out, r.name);
+    out += ", \"wall_seconds\": ";
+    json_append_number(out, r.wall_seconds);
+    out += ", \"interactions_per_sec\": ";
+    json_append_number(out, r.interactions_per_sec);
+    out += ", \"effective_interactions_per_sec\": ";
+    json_append_number(out, r.effective_interactions_per_sec);
+    for (const auto& [key, value] : r.extra) {
+      out += ", ";
+      json_append_string(out, key);
+      out += ": ";
+      json_append_number(out, value);
+    }
+    out += "}";
+  }
+  out += "\n  ]";
+}
+
+}  // namespace
 
 void json_append_number(std::string& out, double v) {
   // JSON has no inf/nan; clamp to 0 rather than emit an invalid token.
@@ -42,30 +207,38 @@ void json_append_string(std::string& out, const std::string& s) {
 
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records) {
+  // Top-level suite/records are the latest snapshot (what comparisons and
+  // CI guards read); every write also appends that snapshot — stamped with
+  // git revision and wall-clock time — to the `history` array, carrying all
+  // prior entries forward, so the trajectory across commits survives
+  // re-runs instead of being clobbered.
+  const std::string sha = build_git_sha();
+  const auto now = static_cast<double>(std::time(nullptr));
+  const std::string prior = carry_forward_history(path);
+
   std::string out;
   out += "{\n  \"suite\": ";
   json_append_string(out, suite);
-  out += ",\n  \"schema_version\": 1,\n  \"records\": [";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += "    {\"name\": ";
-    json_append_string(out, r.name);
-    out += ", \"wall_seconds\": ";
-    json_append_number(out, r.wall_seconds);
-    out += ", \"interactions_per_sec\": ";
-    json_append_number(out, r.interactions_per_sec);
-    out += ", \"effective_interactions_per_sec\": ";
-    json_append_number(out, r.effective_interactions_per_sec);
-    for (const auto& [key, value] : r.extra) {
-      out += ", ";
-      json_append_string(out, key);
-      out += ": ";
-      json_append_number(out, value);
-    }
-    out += "}";
+  out += ",\n  \"schema_version\": 1,\n  \"git_sha\": ";
+  json_append_string(out, sha);
+  out += ",\n  \"timestamp\": ";
+  json_append_number(out, now);
+  out += ",\n  \"records\": ";
+  append_records_array(out, records, "    ");
+  out += ",\n  \"history\": [";
+  if (!prior.empty()) {
+    out += prior;
+    out += ",";
   }
-  out += "\n  ]\n}\n";
+  out += "\n    {\"git_sha\": ";
+  json_append_string(out, sha);
+  out += ", \"timestamp\": ";
+  json_append_number(out, now);
+  out += ", \"suite\": ";
+  json_append_string(out, suite);
+  out += ", \"records\": ";
+  append_records_array(out, records, "      ");
+  out += "}\n  ]\n}\n";
 
   std::ofstream f(path, std::ios::trunc);
   if (!f) {

@@ -23,9 +23,15 @@ struct BenchRecord {
   std::vector<std::pair<std::string, double>> extra;
 };
 
-/// Write `{"suite": ..., "schema_version": 1, "records": [...]}` to `path`.
-/// Returns false (with a warning on stderr) when the file cannot be opened;
-/// benches treat that as non-fatal.
+/// Write `{"suite": ..., "schema_version": 1, "git_sha": ..., "timestamp":
+/// ..., "records": [...], "history": [...]}` to `path`. The top-level
+/// records are the latest snapshot; `history` is append-only — each write
+/// carries every prior entry forward and adds the new snapshot as
+/// `{"git_sha", "timestamp", "suite", "records"}`, so trajectories across
+/// commits survive re-runs. A pre-history file's snapshot is backfilled as
+/// the first entry (git_sha "unknown", timestamp 0). Returns false (with a
+/// warning on stderr) when the file cannot be opened; benches treat that as
+/// non-fatal.
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records);
 

@@ -134,4 +134,56 @@ double chi_square_two_sample(const std::vector<double>& a,
   return stat;
 }
 
+double chi_square_gof(const std::vector<double>& observed,
+                      const std::vector<double>& expected,
+                      std::size_t* dof_out, double min_expected) {
+  POPPROTO_CHECK(!observed.empty() && observed.size() == expected.size());
+  // Pool adjacent categories until each pooled bucket's expectation clears
+  // min_expected (the usual validity rule for the chi-square approximation);
+  // a trailing underweight bucket merges into the previous one.
+  std::vector<double> po, pe;
+  double co = 0.0, ce = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    POPPROTO_CHECK_MSG(expected[i] > 0.0 || observed[i] <= 0.0,
+                       "observed mass in a zero-expectation category");
+    co += observed[i];
+    ce += expected[i];
+    if (ce >= min_expected) {
+      po.push_back(co);
+      pe.push_back(ce);
+      co = ce = 0.0;
+    }
+  }
+  if (ce > 0.0 || co > 0.0) {
+    if (pe.empty()) {
+      po.push_back(co);
+      pe.push_back(ce);
+    } else {
+      po.back() += co;
+      pe.back() += ce;
+    }
+  }
+  double stat = 0.0;
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    const double diff = po[i] - pe[i];
+    stat += diff * diff / pe[i];
+  }
+  if (dof_out) *dof_out = po.size() > 1 ? po.size() - 1 : 0;
+  return stat;
+}
+
+double chi_square_critical_value(std::size_t dof, double alpha) {
+  POPPROTO_CHECK(dof > 0 && alpha > 0.0 && alpha < 0.5);
+  // Standard normal upper quantile (Abramowitz & Stegun 26.2.23, |err| <
+  // 4.5e-4), then the Wilson–Hilferty cube transform.
+  const double t = std::sqrt(-2.0 * std::log(alpha));
+  const double z =
+      t - (2.515517 + t * (0.802853 + t * 0.010328)) /
+              (1.0 + t * (1.432788 + t * (0.189269 + t * 0.001308)));
+  const double d = static_cast<double>(dof);
+  const double h = 2.0 / (9.0 * d);
+  const double w = 1.0 - h + z * std::sqrt(h);
+  return d * w * w * w;
+}
+
 }  // namespace popproto

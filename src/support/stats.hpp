@@ -67,4 +67,19 @@ double chi_square_two_sample(const std::vector<double>& a,
                              const std::vector<double>& b, std::size_t bins,
                              std::size_t* dof_out = nullptr);
 
+/// One-sample chi-square goodness-of-fit statistic: observed category counts
+/// against expected counts (same length, expected[i] > 0 wherever
+/// observed[i] > 0; categories with expected < `min_expected` are pooled
+/// into their neighbor to keep the chi-square approximation valid).
+/// Degrees of freedom = (#categories after pooling - 1), via `dof_out`.
+double chi_square_gof(const std::vector<double>& observed,
+                      const std::vector<double>& expected,
+                      std::size_t* dof_out = nullptr,
+                      double min_expected = 5.0);
+
+/// Upper critical value of the chi-square distribution with `dof` degrees of
+/// freedom at significance `alpha` (Wilson–Hilferty approximation, accurate
+/// to a few percent for dof >= 3 — fine for test thresholds).
+double chi_square_critical_value(std::size_t dof, double alpha);
+
 }  // namespace popproto

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "protocols/baselines.hpp"
+#include "support/stats.hpp"
 
 namespace popproto {
 namespace {
@@ -165,6 +167,177 @@ TEST(CountEngine, AutoModeSwitchesToSkipOnSparseDynamics) {
   eng.run_rounds(500000);
   EXPECT_LE(eng.count_matching(BoolExpr::var(x)), 4u);
   EXPECT_LT(eng.effective_interactions(), 2000u);
+}
+
+TEST(CountEngine, AutoModeHysteresisCrossesBothWays) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  const std::uint64_t n = 100032;
+  CountEngine eng(p, {{var_bit(x), 32}, {0, n - 32}}, 3,
+                  CountEngineMode::kAuto);
+  EXPECT_FALSE(eng.skip_engaged());
+  // Sparse dynamics: after one hysteresis window of near-pure no-ops the
+  // engine must park in skip mode.
+  eng.run_rounds(1.0);
+  EXPECT_TRUE(eng.skip_engaged());
+  // Densify: rewrite 60% of the agents to X, pushing the total change
+  // weight ~ (0.6)^2 well above the switch-back threshold. The first skip
+  // step rebuilds the event weights; the next step must return to direct.
+  Rng fault_rng(99);
+  eng.mutate_random_agents(60000, fault_rng,
+                           [&](State, std::uint64_t) { return var_bit(x); });
+  ASSERT_TRUE(eng.step());
+  ASSERT_TRUE(eng.step());
+  EXPECT_FALSE(eng.skip_engaged());
+  // Accounting stays exact across both switches: parallel time is exactly
+  // interactions / n (population size never changed).
+  EXPECT_NEAR(eng.rounds(),
+              static_cast<double>(eng.interactions()) / static_cast<double>(n),
+              1e-9 * eng.rounds());
+}
+
+// -- kBatch mode (batched collision sampling, DESIGN.md §9) ------------------
+
+TEST(CountEngine, BatchConservesPopulationAndAccounting) {
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  const std::uint64_t n = 5000;
+  CountEngine eng(p, {{var_bit(x), n}}, 7, CountEngineMode::kBatch);
+  eng.run_rounds(25.0);
+  std::uint64_t total = 0;
+  for (const auto& [s, c] : eng.species()) total += c;
+  EXPECT_EQ(total, n);
+  EXPECT_GE(eng.rounds(), 25.0);
+  EXPECT_NEAR(eng.rounds(),
+              static_cast<double>(eng.interactions()) / static_cast<double>(n),
+              1e-9 * eng.rounds());
+  EXPECT_GT(eng.counters().batch_blocks, 0u);
+}
+
+TEST(CountEngine, BatchAndDirectAgreeInDistribution) {
+  // Stationary comparison: #X after a fixed time under elimination must be
+  // chi-square-indistinguishable between direct and batch sampling. Also the
+  // CI release-smoke equivalence check (--gtest_filter=*Batch*).
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  auto samples = [&](CountEngineMode mode, std::uint64_t seed0) {
+    std::vector<double> out;
+    for (int t = 0; t < 60; ++t) {
+      CountEngine eng(p, {{var_bit(x), 256}}, seed0 + t, mode);
+      eng.run_rounds(20);
+      out.push_back(static_cast<double>(eng.count_matching(BoolExpr::var(x))));
+    }
+    return out;
+  };
+  const auto direct = samples(CountEngineMode::kDirect, 300);
+  const auto batch = samples(CountEngineMode::kBatch, 1300);
+  std::size_t dof = 0;
+  const double stat = chi_square_two_sample(direct, batch, 8, &dof);
+  ASSERT_GE(dof, 1u);
+  EXPECT_LT(stat, chi_square_critical_value(dof, 0.001));
+}
+
+TEST(CountEngine, BatchVsDirectHittingTimeKS) {
+  // Temporal comparison at the ISSUE's acceptance significance: the hitting
+  // time of "#X <= 64" from 4096 must have the same law under batch and
+  // direct sampling (KS two-sample test, alpha = 0.01).
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  auto hitting_times = [&](CountEngineMode mode, std::uint64_t seed0) {
+    std::vector<double> out;
+    for (int t = 0; t < 80; ++t) {
+      CountEngine eng(p, {{var_bit(x), 4096}}, seed0 + t, mode);
+      const auto hit = eng.run_until(
+          [&](const CountEngine& e) {
+            return e.count_matching(BoolExpr::var(x)) <= 64;
+          },
+          1e5, /*check_interval=*/0.5);
+      EXPECT_TRUE(hit.has_value());
+      out.push_back(hit.value_or(1e5));
+    }
+    return out;
+  };
+  const auto direct = hitting_times(CountEngineMode::kDirect, 4000);
+  const auto batch = hitting_times(CountEngineMode::kBatch, 14000);
+  const double d = ks_statistic(direct, batch);
+  EXPECT_LT(d, ks_critical_value(direct.size(), batch.size(), 0.01));
+}
+
+TEST(CountEngine, BatchModeHandsOffToSkipOnSparseDynamics) {
+  // Batch/skip hysteresis: once elimination goes sparse, sqrt(n)-sized
+  // batches of no-ops lose to one event draw per effective interaction, so
+  // kBatch must park itself in skip-ahead and still finish huge horizons.
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 32}, {0, 100000}}, 3,
+                  CountEngineMode::kBatch);
+  eng.run_rounds(500000);
+  EXPECT_TRUE(eng.skip_engaged());
+  EXPECT_LE(eng.count_matching(BoolExpr::var(x)), 4u);
+}
+
+TEST(CountEngine, BatchDv12ExactMajorityIsAlwaysCorrect) {
+  // End-to-end on a protocol that exercises collision interactions, the
+  // outcome multinomial and the skip hand-off together.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto vars = make_var_space();
+    const Protocol p = make_dv12_majority_protocol(vars);
+    const VarId ma = *vars->find("MA");
+    const VarId mb = *vars->find("MB");
+    const VarId st = *vars->find("STRONG");
+    const std::uint64_t n = 400;
+    CountEngine eng(p,
+                    {{var_bit(ma) | var_bit(st), 201},
+                     {var_bit(mb) | var_bit(st), 199}},
+                    seed, CountEngineMode::kBatch);
+    const auto t = eng.run_until(
+        [&](const CountEngine& e) {
+          return e.count_matching(BoolExpr::var(ma)) == n;
+        },
+        5e6);
+    ASSERT_TRUE(t.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(CountEngine, BatchTruncatesAtFaultBoundaries) {
+  // With an on_round schedule installed, batches must stop at every whole
+  // round so hooks fire exactly once per boundary, in order — the same
+  // contract skip-ahead jumps honor.
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 2000}}, 11, CountEngineMode::kBatch);
+  std::vector<double> fired;
+  InjectionHook hook;
+  hook.on_round = [&](double r) { fired.push_back(r); };
+  eng.set_injection_hook(std::move(hook));
+  eng.run_rounds(5.5);
+  ASSERT_EQ(fired.size(), 5u);
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_DOUBLE_EQ(fired[i], static_cast<double>(i + 1));
+  EXPECT_GT(eng.counters().batch_blocks, 0u);
+}
+
+TEST(CountEngine, BatchFallsBackUnderDropoutHook) {
+  // A per-interaction dropout predicate cannot be consulted in aggregate;
+  // kBatch must silently take the scalar path and still honor the hook.
+  auto vars = make_var_space();
+  const Protocol p = elimination_protocol(vars);
+  const VarId x = *vars->find("X");
+  CountEngine eng(p, {{var_bit(x), 500}}, 13, CountEngineMode::kBatch);
+  InjectionHook hook;
+  hook.drop_interaction = [](Rng&) { return true; };  // drop everything
+  eng.set_injection_hook(std::move(hook));
+  eng.run_rounds(5.0);
+  EXPECT_EQ(eng.effective_interactions(), 0u);
+  EXPECT_EQ(eng.count_matching(BoolExpr::var(x)), 500u);
+  EXPECT_EQ(eng.counters().batch_blocks, 0u);
+  EXPECT_GT(eng.counters().dropped_interactions, 0u);
 }
 
 }  // namespace
