@@ -1,8 +1,11 @@
 #include "core/batch_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <unordered_map>
+
+#include "persist/snapshot.hpp"
 
 namespace popproto {
 
@@ -374,14 +377,218 @@ std::vector<std::pair<State, std::uint64_t>> BatchEngine::species() const {
 EngineCounters BatchEngine::counters() const {
   EngineCounters c = ctr_;
   c.interactions = interactions_;
+  std::uint64_t builds = 0;
   for (const Shard& sh : shards_) {
     c.effective_steps += sh.ctr.effective_steps;
     c.dropped_interactions += sh.ctr.dropped_interactions;
     c.cache_fallbacks += sh.ctr.cache_fallbacks;
     c.cache_hits += sh.ctr.cache_hits;
-    c.cache_builds += sh.cache.builds();
+    builds += sh.cache.builds();
   }
+  c.cache_builds += cache_builds_base_ + (builds - cache_builds_floor_);
   return c;
+}
+
+void BatchEngine::snapshot(std::ostream& out) const {
+  SnapshotWriter w(out, backend_name(), protocol_fingerprint(protocol_),
+                   states_.size());
+
+  std::string core;
+  BinWriter c(core);
+  c.u64(shards_.size());
+  c.u32(params_.migrate_every);
+  c.u32(rounds_since_migrate_);
+  c.f64(time_);
+  c.u64(interactions_);
+  c.u64(active_n_);
+  w.section(SnapshotSection::kCore, core);
+
+  std::string popn;
+  BinWriter p(popn);
+  p.u64_vec(states_);
+  for (const Shard& sh : shards_) {
+    p.u64(sh.slots.size());
+    for (const std::uint64_t slot : sh.slots) p.u32(slot_id(slot));
+  }
+  p.u32_vec(crashed_);
+  w.section(SnapshotSection::kPopulation, popn);
+
+  // Stream order mirrors construction: migration stream first, then one
+  // stream per shard in shard order.
+  std::string rng;
+  BinWriter r(rng);
+  r.u64(1 + shards_.size());
+  for (const std::uint64_t word : migrate_rng_.state()) r.u64(word);
+  for (const Shard& sh : shards_)
+    for (const std::uint64_t word : sh.rng.state()) r.u64(word);
+  w.section(SnapshotSection::kRngStreams, rng);
+
+  std::string ctrs;
+  BinWriter k(ctrs);
+  // Total cache builds across shards (irrecoverable once caches are
+  // relearned), then the engine-level tallies, then per-shard tallies.
+  std::uint64_t builds = 0;
+  for (const Shard& sh : shards_) builds += sh.cache.builds();
+  k.u64(cache_builds_base_ + (builds - cache_builds_floor_));
+  serialize_counters(k, ctr_);
+  k.u64(shards_.size());
+  for (const Shard& sh : shards_) serialize_counters(k, sh.ctr);
+  w.section(SnapshotSection::kCounters, ctrs);
+
+  w.finish();
+}
+
+void BatchEngine::restore(std::istream& in) {
+  SnapshotReader reader(in, backend_name(), protocol_fingerprint(protocol_));
+  const std::size_t t = shards_.size();
+
+  struct Staging {
+    std::uint64_t shard_count = 0;
+    std::uint32_t migrate_every = 0;
+    std::uint32_t rounds_since_migrate = 0;
+    double time = 0.0;
+    std::uint64_t interactions = 0;
+    std::uint64_t active_n = 0;
+    std::vector<State> states;
+    std::vector<std::vector<std::uint32_t>> shard_ids;
+    std::vector<std::uint32_t> crashed;
+    std::vector<std::array<std::uint64_t, 4>> rngs;  // migration, then shards
+    std::uint64_t cache_builds = 0;
+    EngineCounters ctr;
+    std::vector<EngineCounters> shard_ctrs;
+  } st;
+  bool have_core = false, have_pop = false, have_rng = false, have_ctr = false;
+
+  SnapshotSection tag;
+  std::string payload;
+  while (reader.next(&tag, &payload)) {
+    BinReader r(payload);
+    switch (tag) {
+      case SnapshotSection::kCore:
+        st.shard_count = r.u64();
+        st.migrate_every = r.u32();
+        st.rounds_since_migrate = r.u32();
+        st.time = r.f64();
+        st.interactions = r.u64();
+        st.active_n = r.u64();
+        have_core = true;
+        if (st.shard_count != t)
+          throw SnapshotError(
+              SnapshotErrc::kConfigMismatch,
+              "snapshot has " + std::to_string(st.shard_count) +
+                  " shards, engine has " + std::to_string(t) +
+                  " (thread pools are structural; match Params::threads)");
+        break;
+      case SnapshotSection::kPopulation: {
+        if (!have_core)
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "population section before core");
+        st.states = r.u64_vec();
+        st.shard_ids.resize(t);
+        for (std::size_t s = 0; s < t; ++s) {
+          const std::uint64_t m = r.u64();
+          if (m > r.remaining() / 4)
+            throw SnapshotError(SnapshotErrc::kCorrupt,
+                                "shard size exceeds payload");
+          st.shard_ids[s].resize(static_cast<std::size_t>(m));
+          for (auto& id : st.shard_ids[s]) id = r.u32();
+        }
+        st.crashed = r.u32_vec();
+        have_pop = true;
+        break;
+      }
+      case SnapshotSection::kRngStreams: {
+        if (!have_core)
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "rng section before core");
+        if (r.u64() != 1 + t)
+          throw SnapshotError(SnapshotErrc::kConfigMismatch,
+                              "rng stream count does not match shard count");
+        st.rngs.resize(1 + t);
+        for (auto& stream : st.rngs)
+          for (auto& word : stream) word = r.u64();
+        have_rng = true;
+        break;
+      }
+      case SnapshotSection::kCounters: {
+        if (!have_core)
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "counters section before core");
+        st.cache_builds = r.u64();
+        st.ctr = deserialize_counters(r);
+        if (r.u64() != t)
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "per-shard counter count mismatch");
+        st.shard_ctrs.resize(t);
+        for (auto& sc : st.shard_ctrs) sc = deserialize_counters(r);
+        have_ctr = true;
+        break;
+      }
+      default:
+        throw SnapshotError(SnapshotErrc::kCorrupt,
+                            "section not used by the batch engine");
+    }
+  }
+  if (!(have_core && have_pop && have_rng && have_ctr))
+    throw SnapshotError(SnapshotErrc::kTruncated,
+                        "snapshot missing a required section");
+
+  // Semantic validation — *this stays untouched until everything passed.
+  const std::size_t n = st.states.size();
+  if (n != reader.population_n() || n < 2)
+    throw SnapshotError(SnapshotErrc::kCorrupt, "population size mismatch");
+  std::uint64_t scheduled = 0;
+  for (const auto& ids : st.shard_ids) scheduled += ids.size();
+  if (scheduled != st.active_n || scheduled < 2 ||
+      scheduled + st.crashed.size() != n)
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "scheduled/crashed partition does not cover n");
+  std::vector<char> seen(n, 0);
+  const auto claim = [&](std::uint32_t id) {
+    if (id >= n || seen[id])
+      throw SnapshotError(SnapshotErrc::kCorrupt, "invalid agent id");
+    seen[id] = 1;
+  };
+  for (const auto& ids : st.shard_ids)
+    for (const std::uint32_t id : ids) claim(id);
+  for (const std::uint32_t id : st.crashed) claim(id);
+  for (const auto& stream : st.rngs)
+    if (stream == std::array<std::uint64_t, 4>{})
+      throw SnapshotError(SnapshotErrc::kCorrupt, "all-zero RNG state");
+  if (!(st.time >= 0.0))  // also rejects NaN
+    throw SnapshotError(SnapshotErrc::kCorrupt, "negative time base");
+
+  // Stage slot arrays, then commit with throw-free moves/assignments.
+  std::vector<std::vector<std::uint64_t>> staged_slots(t);
+  for (std::size_t s = 0; s < t; ++s) {
+    staged_slots[s].reserve(st.shard_ids[s].size());
+    for (const std::uint32_t id : st.shard_ids[s])
+      staged_slots[s].push_back(pack(TransitionCache::kNoState, id));
+  }
+
+  std::uint64_t builds_now = 0;
+  for (const Shard& sh : shards_) builds_now += sh.cache.builds();
+
+  states_ = std::move(st.states);
+  for (std::size_t s = 0; s < t; ++s) {
+    shards_[s].slots = std::move(staged_slots[s]);
+    shards_[s].rng.set_state(st.rngs[1 + s]);
+    shards_[s].ctr = st.shard_ctrs[s];
+    shards_[s].pairs = 0;
+  }
+  migrate_rng_.set_state(st.rngs[0]);
+  crashed_ = std::move(st.crashed);
+  active_n_ = st.active_n;
+  interactions_ = st.interactions;
+  time_ = st.time;
+  rounds_since_migrate_ = st.rounds_since_migrate;
+  params_.migrate_every = st.migrate_every;
+  ctr_ = st.ctr;
+  cache_builds_base_ = st.cache_builds;
+  cache_builds_floor_ = builds_now;
+  sidx_dirty_ = false;  // staged slots already carry kNoState shadows
+  migration_buf_.clear();
+  last_injection_round_ = std::floor(time_);
 }
 
 }  // namespace popproto

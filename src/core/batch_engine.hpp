@@ -118,10 +118,26 @@ class BatchEngine final : public SimBackend {
   void set_scheduler_bias(std::optional<SchedulerBias> bias) override;
   void set_event_trace(EventTrace* trace) override { trace_ = trace; }
 
+  // -- Durable state (src/persist/, DESIGN.md §10) --------------------------
+  /// Full-fidelity snapshot: per-agent states, each shard's slot-id list and
+  /// private RNG stream, the migration stream, crashed ids, the migration
+  /// phase, and counters. Per-shard transition caches are derived state and
+  /// are relearned lazily after restore with no trajectory drift.
+  void snapshot(std::ostream& out) const override;
+  /// All-or-nothing restore (see SimBackend::restore). The worker pool is
+  /// structural: the snapshot's shard count must equal shards() or restore
+  /// throws SnapshotError{kConfigMismatch}. Adopts the saved migrate_every.
+  void restore(std::istream& in) override;
+
   // -- Batch-specific surface ------------------------------------------------
   /// Shards actually in use (== worker threads; may be fewer than
   /// Params::threads for small populations).
   std::size_t shards() const { return shards_.size(); }
+  /// The given shard's private RNG stream (stream-state equality checks in
+  /// tests; see support/rng.hpp's operator== and rng_state_hex).
+  const Rng& shard_rng(std::size_t s) const { return shards_[s].rng; }
+  /// The dedicated cross-shard migration stream.
+  const Rng& migration_rng() const { return migrate_rng_; }
   /// Total population, crashed agents included.
   std::size_t n() const { return states_.size(); }
   /// Current state of agent `id` (crashed agents report their frozen state).
@@ -194,6 +210,11 @@ class BatchEngine final : public SimBackend {
   std::optional<SchedulerBias> bias_;
   EventTrace* trace_ = nullptr;
   EngineCounters ctr_;  // engine-level tallies (churn, corruption)
+  // cache_builds accounting across restore (per-shard caches survive a
+  // restore un-serialized): counters() reports
+  // base + (sum of shard builds - floor).
+  std::uint64_t cache_builds_base_ = 0;
+  std::uint64_t cache_builds_floor_ = 0;
   std::vector<std::uint32_t> crashed_;  // crashed agent ids (states frozen)
   std::vector<std::uint32_t> migration_buf_;
 

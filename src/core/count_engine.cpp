@@ -1,10 +1,12 @@
 #include "core/count_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "core/pair_sampler.hpp"
+#include "persist/snapshot.hpp"
 
 namespace popproto {
 
@@ -691,8 +693,205 @@ EngineCounters CountEngine::counters() const {
   EngineCounters c = ctr_;
   c.interactions = interactions_;
   c.effective_steps = effective_;
-  c.cache_builds = cache_.builds();
+  c.cache_builds = cache_builds_base_ + (cache_.builds() - cache_builds_floor_);
   return c;
+}
+
+void CountEngine::snapshot(std::ostream& out) const {
+  SnapshotWriter w(out, backend_name(), protocol_fingerprint(protocol_),
+                   n_ + crashed_n_);
+
+  std::string core;
+  BinWriter c(core);
+  c.u8(static_cast<std::uint8_t>(mode_));
+  c.u8(use_cache_ ? 1 : 0);
+  c.u8(use_skip_ ? 1 : 0);
+  c.u8(silent_ ? 1 : 0);
+  c.u64(batch_size_);
+  c.f64(time_);
+  c.u64(interactions_);
+  c.u64(effective_);
+  c.u64(window_steps_);
+  c.u64(window_effective_);
+  c.f64(events_total_weight_);
+  w.section(SnapshotSection::kCore, core);
+
+  std::string popn;
+  BinWriter p(popn);
+  p.u64(n_);
+  p.u64_vec(states_);  // exact internal order, zero-count slots included
+  p.u64_vec(counts_);
+  p.u64(crashed_n_);
+  p.u64(crashed_.size());
+  for (const auto& [s, cnt] : crashed_) {
+    p.u64(s);
+    p.u64(cnt);
+  }
+  w.section(SnapshotSection::kPopulation, popn);
+
+  std::string rng;
+  BinWriter r(rng);
+  r.u64(1);  // stream count
+  for (const std::uint64_t word : rng_.state()) r.u64(word);
+  w.section(SnapshotSection::kRngStreams, rng);
+
+  std::string ctrs;
+  BinWriter k(ctrs);
+  serialize_counters(k, counters());
+  w.section(SnapshotSection::kCounters, ctrs);
+
+  w.finish();
+}
+
+void CountEngine::restore(std::istream& in) {
+  SnapshotReader reader(in, backend_name(), protocol_fingerprint(protocol_));
+
+  struct Staging {
+    std::uint8_t mode = 0;
+    bool use_cache = true;
+    bool use_skip = false;
+    bool silent = false;
+    std::uint64_t batch_size = 0;
+    double time = 0.0;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective = 0;
+    std::uint64_t window_steps = 0;
+    std::uint64_t window_effective = 0;
+    double events_total_weight = 0.0;
+    std::uint64_t n = 0;
+    std::vector<State> states;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t crashed_n = 0;
+    std::vector<std::pair<State, std::uint64_t>> crashed;
+    std::array<std::uint64_t, 4> rng{};
+    EngineCounters ctr;
+  } st;
+  bool have_core = false, have_pop = false, have_rng = false, have_ctr = false;
+
+  SnapshotSection tag;
+  std::string payload;
+  while (reader.next(&tag, &payload)) {
+    BinReader r(payload);
+    switch (tag) {
+      case SnapshotSection::kCore:
+        st.mode = r.u8();
+        st.use_cache = r.u8() != 0;
+        st.use_skip = r.u8() != 0;
+        st.silent = r.u8() != 0;
+        st.batch_size = r.u64();
+        st.time = r.f64();
+        st.interactions = r.u64();
+        st.effective = r.u64();
+        st.window_steps = r.u64();
+        st.window_effective = r.u64();
+        st.events_total_weight = r.f64();
+        have_core = true;
+        break;
+      case SnapshotSection::kPopulation: {
+        st.n = r.u64();
+        st.states = r.u64_vec();
+        st.counts = r.u64_vec();
+        st.crashed_n = r.u64();
+        const std::uint64_t pairs = r.u64();
+        if (pairs > r.remaining() / 16)
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "crashed-species count exceeds payload");
+        st.crashed.reserve(static_cast<std::size_t>(pairs));
+        for (std::uint64_t i = 0; i < pairs; ++i) {
+          const State s = r.u64();
+          const std::uint64_t cnt = r.u64();
+          st.crashed.emplace_back(s, cnt);
+        }
+        have_pop = true;
+        break;
+      }
+      case SnapshotSection::kRngStreams:
+        if (r.u64() != 1)
+          throw SnapshotError(SnapshotErrc::kConfigMismatch,
+                              "count engine snapshots carry one RNG stream");
+        for (auto& word : st.rng) word = r.u64();
+        have_rng = true;
+        break;
+      case SnapshotSection::kCounters:
+        st.ctr = deserialize_counters(r);
+        have_ctr = true;
+        break;
+      default:
+        throw SnapshotError(SnapshotErrc::kCorrupt,
+                            "section not used by the count engine");
+    }
+  }
+  if (!(have_core && have_pop && have_rng && have_ctr))
+    throw SnapshotError(SnapshotErrc::kTruncated,
+                        "snapshot missing a required section");
+
+  // Semantic validation — *this stays untouched until everything passed.
+  if (st.mode > static_cast<std::uint8_t>(CountEngineMode::kBatch))
+    throw SnapshotError(SnapshotErrc::kCorrupt, "unknown count engine mode");
+  if (st.states.size() != st.counts.size())
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "species/count table length mismatch");
+  std::uint64_t sum = 0;
+  for (const std::uint64_t cnt : st.counts) {
+    if (cnt > st.n - sum)  // overflow-safe running bound
+      throw SnapshotError(SnapshotErrc::kCorrupt, "species counts exceed n");
+    sum += cnt;
+  }
+  if (sum != st.n || st.n < 2)
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "species counts do not sum to n");
+  std::uint64_t crashed_sum = 0;
+  for (const auto& [s, cnt] : st.crashed) {
+    if (cnt > st.crashed_n - crashed_sum)
+      throw SnapshotError(SnapshotErrc::kCorrupt,
+                          "crashed counts exceed crashed_n");
+    crashed_sum += cnt;
+  }
+  if (crashed_sum != st.crashed_n ||
+      st.n + st.crashed_n != reader.population_n())
+    throw SnapshotError(SnapshotErrc::kCorrupt, "population size mismatch");
+  std::unordered_map<State, std::size_t> staged_index;
+  staged_index.reserve(st.states.size());
+  for (std::size_t i = 0; i < st.states.size(); ++i)
+    if (!staged_index.emplace(st.states[i], i).second)
+      throw SnapshotError(SnapshotErrc::kCorrupt, "duplicate species entry");
+  if (st.rng == std::array<std::uint64_t, 4>{})
+    throw SnapshotError(SnapshotErrc::kCorrupt, "all-zero RNG state");
+  if (!(st.time >= 0.0) || !(st.events_total_weight >= 0.0))  // rejects NaN
+    throw SnapshotError(SnapshotErrc::kCorrupt, "negative time or weight");
+
+  // Commit with throw-free moves.
+  states_ = std::move(st.states);
+  counts_ = std::move(st.counts);
+  index_ = std::move(staged_index);
+  n_ = st.n;
+  crashed_ = std::move(st.crashed);
+  crashed_n_ = st.crashed_n;
+  rng_.set_state(st.rng);
+  mode_ = static_cast<CountEngineMode>(st.mode);
+  use_cache_ = st.use_cache;
+  use_skip_ = st.use_skip;
+  silent_ = st.silent;
+  batch_size_ = st.batch_size;
+  time_ = st.time;
+  interactions_ = st.interactions;
+  effective_ = st.effective;
+  window_steps_ = st.window_steps;
+  window_effective_ = st.window_effective;
+  events_total_weight_ = st.events_total_weight;
+  ctr_ = st.ctr;
+  cache_builds_base_ = st.ctr.cache_builds;
+  cache_builds_floor_ = cache_.builds();
+  events_.clear();  // derived; skip_step/rebuild_events regenerates
+  bat_touched_.clear();
+  bat_di_.clear();
+  bat_row_.clear();
+  bat_out_.clear();
+  bat_gap_.clear();
+  bat_ores_.clear();
+  bat_cum_.clear();
+  bat_res_.clear();
+  last_injection_round_ = std::floor(time_);
 }
 
 std::uint64_t CountEngine::count_state(State s) const {

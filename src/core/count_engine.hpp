@@ -132,6 +132,19 @@ class CountEngine final : public SimBackend {
   /// corruption and run_until convergence events. Not owned.
   void set_event_trace(EventTrace* trace) override { trace_ = trace; }
 
+  // -- Durable state (src/persist/, DESIGN.md §10) --------------------------
+  /// Full-fidelity snapshot: the species table in its exact internal order
+  /// (sample_species scans counts_ in order, so ordering is part of the
+  /// trajectory), crashed multiset, RNG stream, mode/skip/batch config, the
+  /// time base, and counters — including events_total_weight_, which the
+  /// batch/skip hysteresis reads *before* any rebuild. The event list and
+  /// species index are derived and rebuilt, not serialized.
+  void snapshot(std::ostream& out) const override;
+  /// All-or-nothing restore (see SimBackend::restore). Adopts the saved
+  /// mode, batch cap, and population; hooks/traces/bias must be re-attached
+  /// by the caller.
+  void restore(std::istream& in) override;
+
   // -- SimBackend observables (core/sim_backend.hpp) ------------------------
   const char* backend_name() const override { return "count"; }
   std::uint64_t active_n() const override { return n_; }
@@ -209,6 +222,10 @@ class CountEngine final : public SimBackend {
   // Telemetry tallies (interactions_/effective_ stay the master counts;
   // counters() merges them in).
   EngineCounters ctr_;
+  // cache_builds accounting across restore (the cache survives a restore
+  // un-serialized): counters() reports base + (cache_.builds() - floor).
+  std::uint64_t cache_builds_base_ = 0;
+  std::uint64_t cache_builds_floor_ = 0;
   EventTrace* trace_ = nullptr;
   InjectionHook injection_;
   std::optional<SchedulerBias> bias_;

@@ -1,10 +1,13 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <tuple>
 #include <unordered_map>
+
+#include "persist/snapshot.hpp"
 
 namespace popproto {
 
@@ -285,8 +288,143 @@ std::optional<double> Engine::run_until(
 EngineCounters Engine::counters() const {
   EngineCounters c = ctr_;
   c.interactions = interactions_;
-  c.cache_builds = cache_.builds();
+  c.cache_builds = cache_builds_base_ + (cache_.builds() - cache_builds_floor_);
   return c;
+}
+
+void Engine::snapshot(std::ostream& out) const {
+  SnapshotWriter w(out, backend_name(), protocol_fingerprint(protocol_),
+                   pop_.size());
+
+  std::string core;
+  BinWriter c(core);
+  c.u8(static_cast<std::uint8_t>(scheduler_));
+  c.u8(use_cache_ ? 1 : 0);
+  c.f64(time_);
+  c.u64(interactions_);
+  w.section(SnapshotSection::kCore, core);
+
+  std::string popn;
+  BinWriter p(popn);
+  p.u64_vec(pop_.states());
+  p.u32_vec(active_);
+  w.section(SnapshotSection::kPopulation, popn);
+
+  std::string rng;
+  BinWriter r(rng);
+  r.u64(1);  // stream count
+  for (const std::uint64_t word : rng_.state()) r.u64(word);
+  w.section(SnapshotSection::kRngStreams, rng);
+
+  std::string ctrs;
+  BinWriter k(ctrs);
+  serialize_counters(k, counters());
+  w.section(SnapshotSection::kCounters, ctrs);
+
+  w.finish();
+}
+
+void Engine::restore(std::istream& in) {
+  SnapshotReader reader(in, backend_name(), protocol_fingerprint(protocol_));
+
+  struct Staging {
+    std::uint8_t scheduler = 0;
+    bool use_cache = true;
+    double time = 0.0;
+    std::uint64_t interactions = 0;
+    std::vector<State> states;
+    std::vector<std::uint32_t> active;
+    std::array<std::uint64_t, 4> rng{};
+    EngineCounters ctr;
+  } st;
+  bool have_core = false, have_pop = false, have_rng = false, have_ctr = false;
+
+  SnapshotSection tag;
+  std::string payload;
+  while (reader.next(&tag, &payload)) {
+    BinReader r(payload);
+    switch (tag) {
+      case SnapshotSection::kCore:
+        st.scheduler = r.u8();
+        st.use_cache = r.u8() != 0;
+        st.time = r.f64();
+        st.interactions = r.u64();
+        have_core = true;
+        break;
+      case SnapshotSection::kPopulation:
+        st.states = r.u64_vec();
+        st.active = r.u32_vec();
+        have_pop = true;
+        break;
+      case SnapshotSection::kRngStreams:
+        if (r.u64() != 1)
+          throw SnapshotError(SnapshotErrc::kConfigMismatch,
+                              "agent engine snapshots carry one RNG stream");
+        for (auto& word : st.rng) word = r.u64();
+        have_rng = true;
+        break;
+      case SnapshotSection::kCounters:
+        st.ctr = deserialize_counters(r);
+        have_ctr = true;
+        break;
+      default:
+        throw SnapshotError(SnapshotErrc::kCorrupt,
+                            "section not used by the agent engine");
+    }
+  }
+  if (!(have_core && have_pop && have_rng && have_ctr))
+    throw SnapshotError(SnapshotErrc::kTruncated,
+                        "snapshot missing a required section");
+
+  // Semantic validation — *this stays untouched until everything passed.
+  if (st.scheduler > static_cast<std::uint8_t>(SchedulerKind::kRandomMatching))
+    throw SnapshotError(SnapshotErrc::kCorrupt, "unknown scheduler kind");
+  const std::size_t n = st.states.size();
+  if (n != reader.population_n() || n < 2)
+    throw SnapshotError(SnapshotErrc::kCorrupt, "population size mismatch");
+  if (st.active.size() < 2 || st.active.size() > n)
+    throw SnapshotError(SnapshotErrc::kCorrupt, "active set out of range");
+  std::vector<char> seen(n, 0);
+  bool identity = st.active.size() == n;
+  for (std::size_t p = 0; p < st.active.size(); ++p) {
+    const std::uint32_t id = st.active[p];
+    if (id >= n || seen[id])
+      throw SnapshotError(SnapshotErrc::kCorrupt, "invalid active agent id");
+    seen[id] = 1;
+    identity = identity && id == p;
+  }
+  if (st.rng == std::array<std::uint64_t, 4>{})
+    throw SnapshotError(SnapshotErrc::kCorrupt, "all-zero RNG state");
+  if (!(st.time >= 0.0))  // also rejects NaN
+    throw SnapshotError(SnapshotErrc::kCorrupt, "negative time base");
+
+  // Stage the remaining allocations, then commit with throw-free moves.
+  AgentPopulation staged_pop(std::move(st.states));
+  std::vector<std::uint32_t> pos(n, kNotActive);
+  for (std::size_t p = 0; p < st.active.size(); ++p)
+    pos[st.active[p]] = static_cast<std::uint32_t>(p);
+  std::vector<std::uint32_t> fresh_sidx(n, TransitionCache::kNoState);
+
+  pop_ = std::move(staged_pop);
+  active_ = std::move(st.active);
+  pos_in_active_ = std::move(pos);
+  sidx_ = std::move(fresh_sidx);
+  pop_version_seen_ = pop_.version();
+  inv_active_ = 1.0 / static_cast<double>(active_.size());
+  active_identity_ = identity;
+  rng_.set_state(st.rng);
+  scheduler_ = static_cast<SchedulerKind>(st.scheduler);
+  use_cache_ = st.use_cache;
+  time_ = st.time;
+  interactions_ = st.interactions;
+  ctr_ = st.ctr;
+  cache_builds_base_ = st.ctr.cache_builds;
+  cache_builds_floor_ = cache_.builds();
+  // Hook cadences resume on the uninterrupted run's grid: the next firing is
+  // the first whole round after the restored time.
+  last_hook_round_ = std::floor(time_);
+  last_injection_round_ = std::floor(time_);
+  matching_buf_.clear();
 }
 
 std::uint64_t Engine::count_matching(const Guard& g) const {

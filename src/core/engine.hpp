@@ -117,6 +117,17 @@ class Engine final : public SimBackend {
   using SimBackend::count_matching;  // + the BoolExpr convenience overload
   std::vector<std::pair<State, std::uint64_t>> species() const override;
 
+  // -- Durable state (src/persist/, DESIGN.md §10) --------------------------
+  /// Full-fidelity snapshot: per-agent states, active set, RNG stream,
+  /// scheduler/cache config, time base and counters. The transition cache is
+  /// NOT serialized — both kernel paths are bit-identical, so a restored
+  /// engine relearns pair bindings lazily with no trajectory drift.
+  void snapshot(std::ostream& out) const override;
+  /// All-or-nothing restore (see SimBackend::restore). Adopts the saved
+  /// scheduler kind, cache toggle, and population size; hooks, traces, and
+  /// bias are runtime attachments and must be re-installed by the caller.
+  void restore(std::istream& in) override;
+
   double rounds() const override { return time_; }
   std::uint64_t interactions() const override { return interactions_; }
   const AgentPopulation& population() const { return pop_; }
@@ -160,6 +171,13 @@ class Engine final : public SimBackend {
   // Telemetry tallies (interactions_ stays the master interaction count;
   // counters() merges it in). Maintained only on slow/branchy paths.
   EngineCounters ctr_;
+  // cache_builds accounting across restore: the cache object survives a
+  // restore un-serialized, so counters() reports
+  //   base + (cache_.builds() - floor)
+  // where base is the snapshot's total and floor the cache's build count at
+  // restore time. Both stay 0 on an engine that never restored.
+  std::uint64_t cache_builds_base_ = 0;
+  std::uint64_t cache_builds_floor_ = 0;
   EventTrace* trace_ = nullptr;
   std::optional<SchedulerBias> bias_;
   std::vector<std::uint32_t> active_;         // scheduled agent ids

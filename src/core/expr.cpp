@@ -220,4 +220,24 @@ Guard::Guard(const BoolExpr& expr) {
   terms_ = std::move(kept);
 }
 
+std::vector<std::pair<State, State>> Guard::minterms() const {
+  std::vector<std::pair<State, State>> out;
+  out.reserve(terms_.size());
+  for (const auto& t : terms_) out.emplace_back(t.mask, t.bits);
+  return out;
+}
+
+Guard Guard::from_minterms(
+    bool always, const std::vector<std::pair<State, State>>& terms) {
+  Guard g;
+  g.always_ = always;
+  if (always) return g;
+  g.terms_.reserve(terms.size());
+  for (const auto& [mask, bits] : terms) {
+    g.terms_.push_back(Minterm{mask, bits & mask});
+    g.support_ |= mask;
+  }
+  return g;
+}
+
 }  // namespace popproto

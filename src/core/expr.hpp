@@ -77,6 +77,18 @@ class Guard {
   State support() const { return support_; }
   std::size_t num_terms() const { return terms_.size(); }
 
+  // -- Persistence surface (src/persist/, DESIGN.md §10) --------------------
+  // The compiled (mask, bits) minterm list IS the matcher, so round-tripping
+  // it reproduces the guard's semantics exactly without serializing the
+  // source expression tree. Used to persist SchedulerBias windows inside
+  // fault schedules and to fingerprint protocols.
+  /// The DNF minterm list as (mask, bits) pairs (empty for an always-true
+  /// guard — check always_true() first).
+  std::vector<std::pair<State, State>> minterms() const;
+  /// Rebuild a guard directly from a minterm list (no re-compilation).
+  static Guard from_minterms(bool always,
+                             const std::vector<std::pair<State, State>>& terms);
+
  private:
   struct Minterm {
     State mask = 0;

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -97,6 +98,26 @@ class SimBackend {
 
   /// Attach (or, with nullptr, detach) a structured event sink. Not owned.
   virtual void set_event_trace(EventTrace* trace) = 0;
+
+  // -- Durable state (src/persist/, DESIGN.md §10) --------------------------
+  /// Serialize the complete simulation state — population/species, churn
+  /// state, accumulated rounds/interactions, every RNG stream, telemetry
+  /// counters, and engine-specific config — as a versioned, checksummed
+  /// binary snapshot. A trajectory restored from the snapshot is
+  /// bit-identical to one that never stopped. Runtime attachments (hooks,
+  /// traces, an externally set SchedulerBias) are NOT included: re-attach
+  /// them after restore (FaultInjector::restore resumes a fault schedule,
+  /// including its open bias/dropout windows). Throws SnapshotError{kIo} if
+  /// the stream rejects the write. Driver-thread only, like churn.
+  virtual void snapshot(std::ostream& out) const = 0;
+
+  /// Replace this backend's simulation state with a snapshot previously
+  /// written by the same substrate (backend_name must match) under the same
+  /// protocol (fingerprint-checked) and compatible structural config.
+  /// All-or-nothing: the stream is parsed and validated into staging
+  /// storage first, so a corrupt/truncated/mismatched snapshot throws a
+  /// typed SnapshotError and leaves this backend untouched.
+  virtual void restore(std::istream& in) = 0;
 
  protected:
   /// The currently attached event sink (nullptr when none); lets the shared

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/serialize.hpp"
 
 namespace popproto {
 
@@ -84,6 +85,113 @@ FaultPlan& FaultPlan::bias_window(double from, double until,
   e.until_round = until;
   e.bias = std::move(bias);
   return *this;
+}
+
+FaultPlan FaultPlan::from_events(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+namespace {
+
+void serialize_guard(BinWriter& w, const Guard& g) {
+  w.u8(g.always_true() ? 1 : 0);
+  const auto terms = g.minterms();
+  w.u64(terms.size());
+  for (const auto& [mask, bits] : terms) {
+    w.u64(mask);
+    w.u64(bits);
+  }
+}
+
+Guard deserialize_guard(BinReader& r) {
+  const bool always = r.u8() != 0;
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 16)
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "guard minterm count exceeds payload");
+  std::vector<std::pair<State, State>> terms;
+  terms.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const State mask = r.u64();
+    const State bits = r.u64();
+    terms.emplace_back(mask, bits);
+  }
+  return Guard::from_minterms(always, terms);
+}
+
+}  // namespace
+
+void serialize_fault_plan(BinWriter& w, const FaultPlan& plan) {
+  w.u64(plan.size());
+  for (const FaultEvent& e : plan.events()) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.f64(e.at_round);
+    w.f64(e.rate);
+    w.f64(e.from_round);
+    w.f64(e.until_round);
+    w.f64(e.corrupt.fraction);
+    w.u64(e.corrupt.count);
+    w.u8(static_cast<std::uint8_t>(e.corrupt.mode));
+    w.u64(e.corrupt.fixed_state);
+    w.u64_vec(e.corrupt.palette);
+    w.u64(e.corrupt.mask);
+    w.f64(e.crash.fraction);
+    w.u64(e.crash.count);
+    w.f64(e.rejoin.fraction);
+    w.u64(e.rejoin.count);
+    w.u8(e.rejoin.all ? 1 : 0);
+    w.f64(e.dropout_p);
+    w.f64(e.bias.epsilon);
+    w.u32(static_cast<std::uint32_t>(e.bias.tries));
+    serialize_guard(w, e.bias.prefer);
+  }
+}
+
+FaultPlan deserialize_fault_plan(BinReader& r) {
+  const std::uint64_t count = r.u64();
+  // Each event occupies well over 64 payload bytes; bound before reserving.
+  if (count > r.remaining() / 64)
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "fault event count exceeds payload");
+  std::vector<FaultEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FaultEvent e;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(FaultKind::kBias))
+      throw SnapshotError(SnapshotErrc::kCorrupt, "unknown fault kind");
+    e.kind = static_cast<FaultKind>(kind);
+    e.at_round = r.f64();
+    e.rate = r.f64();
+    e.from_round = r.f64();
+    e.until_round = r.f64();
+    e.corrupt.fraction = r.f64();
+    e.corrupt.count = r.u64();
+    const std::uint8_t mode = r.u8();
+    if (mode > static_cast<std::uint8_t>(CorruptMode::kSpread))
+      throw SnapshotError(SnapshotErrc::kCorrupt, "unknown corruption mode");
+    e.corrupt.mode = static_cast<CorruptMode>(mode);
+    e.corrupt.fixed_state = r.u64();
+    e.corrupt.palette = r.u64_vec();
+    e.corrupt.mask = r.u64();
+    if (e.kind == FaultKind::kCorrupt &&
+        e.corrupt.mode != CorruptMode::kFixed && e.corrupt.palette.empty())
+      throw SnapshotError(SnapshotErrc::kCorrupt,
+                          "palette corruption without a palette");
+    e.crash.fraction = r.f64();
+    e.crash.count = r.u64();
+    e.rejoin.fraction = r.f64();
+    e.rejoin.count = r.u64();
+    e.rejoin.all = r.u8() != 0;
+    e.dropout_p = r.f64();
+    e.bias.epsilon = r.f64();
+    e.bias.tries = static_cast<int>(r.u32());
+    e.bias.prefer = deserialize_guard(r);
+    events.push_back(std::move(e));
+  }
+  return FaultPlan::from_events(std::move(events));
 }
 
 double FaultPlan::last_scheduled_round() const {

@@ -105,9 +105,26 @@ class FaultPlan {
   /// plan); useful for sizing experiment horizons.
   double last_scheduled_round() const;
 
+  /// Reconstruct a plan from raw events (deserialize_fault_plan); bypasses
+  /// the builder checks, which already held when the events were built.
+  static FaultPlan from_events(std::vector<FaultEvent> events);
+
  private:
   FaultEvent& push(FaultKind kind);
   std::vector<FaultEvent> events_;
 };
+
+// -- Persistence (src/persist/, DESIGN.md §10) -------------------------------
+class BinWriter;
+class BinReader;
+
+/// Serialize every event of the plan — kind, trigger times/rates, and the
+/// full spec payloads (corrupt palettes/masks, bias guards as compiled
+/// minterms) — as a kFaultPlan section body. Round-trips exactly.
+void serialize_fault_plan(BinWriter& w, const FaultPlan& plan);
+/// Inverse of serialize_fault_plan. Throws SnapshotError{kCorrupt} on
+/// malformed kinds/modes or a kRandom/kSpread corruption without a palette
+/// (which could otherwise abort at fire time).
+FaultPlan deserialize_fault_plan(BinReader& r);
 
 }  // namespace popproto

@@ -1,11 +1,13 @@
 #include "faults/injector.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
 #include "core/engine.hpp"
+#include "persist/snapshot.hpp"
 
 namespace popproto {
 
@@ -126,10 +128,17 @@ bool plan_has_dropout(const FaultPlan& plan) {
 
 }  // namespace
 
-void FaultInjector::attach(Engine& engine) {
-  reset_firing_state();
-  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+void FaultInjector::install_hook_on_bound_target() {
+  InjectionHook hook;
+  hook.on_round = [this](double round) { on_round(round); };
+  if (plan_has_dropout(plan_))
+    hook.drop_interaction = [this](Rng& rng) {
+      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
+    };
+  set_hook_(std::move(hook));
+}
 
+void FaultInjector::bind(Engine& engine) {
   target_.active_n = [&engine] {
     return static_cast<std::uint64_t>(engine.active_count());
   };
@@ -174,24 +183,13 @@ void FaultInjector::attach(Engine& engine) {
     engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
                                    : std::nullopt);
   };
-
-  InjectionHook hook;
-  hook.on_round = [this](double round) { on_round(round); };
-  if (plan_has_dropout(plan_))
-    hook.drop_interaction = [this](Rng& rng) {
-      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
-    };
-  engine.set_injection_hook(std::move(hook));
-  // Apply the schedule as of the current time: overdue one-shots (e.g.
-  // corrupt_at(0) perturbing the initial configuration) fire now, and
-  // windows covering the present open immediately.
-  on_round(engine.rounds(), /*at_boundary=*/false);
+  set_hook_ = [&engine](InjectionHook hook) {
+    engine.set_injection_hook(std::move(hook));
+  };
+  install_hook_on_bound_target();
 }
 
-void FaultInjector::attach(CountEngine& engine) {
-  reset_firing_state();
-  if (plan_.empty()) return;  // zero-overhead no-op guarantee
-
+void FaultInjector::bind(CountEngine& engine) {
   target_.active_n = [&engine] { return engine.n(); };
   target_.corrupt = [this, &engine](const CorruptSpec& spec,
                                     std::uint64_t k) -> std::uint64_t {
@@ -210,21 +208,13 @@ void FaultInjector::attach(CountEngine& engine) {
     engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
                                    : std::nullopt);
   };
-
-  InjectionHook hook;
-  hook.on_round = [this](double round) { on_round(round); };
-  if (plan_has_dropout(plan_))
-    hook.drop_interaction = [this](Rng& rng) {
-      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
-    };
-  engine.set_injection_hook(std::move(hook));
-  on_round(engine.rounds(), /*at_boundary=*/false);
+  set_hook_ = [&engine](InjectionHook hook) {
+    engine.set_injection_hook(std::move(hook));
+  };
+  install_hook_on_bound_target();
 }
 
-void FaultInjector::attach(BatchEngine& engine) {
-  reset_firing_state();
-  if (plan_.empty()) return;  // zero-overhead no-op guarantee
-
+void FaultInjector::bind(BatchEngine& engine) {
   target_.active_n = [&engine] { return engine.active_n(); };
   target_.corrupt = [this, &engine](const CorruptSpec& spec,
                                     std::uint64_t k) -> std::uint64_t {
@@ -243,14 +233,40 @@ void FaultInjector::attach(BatchEngine& engine) {
     engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
                                    : std::nullopt);
   };
+  set_hook_ = [&engine](InjectionHook hook) {
+    engine.set_injection_hook(std::move(hook));
+  };
+  install_hook_on_bound_target();
+}
 
-  InjectionHook hook;
-  hook.on_round = [this](double round) { on_round(round); };
-  if (plan_has_dropout(plan_))
-    hook.drop_interaction = [this](Rng& rng) {
-      return dropout_p_ > 0.0 && rng.chance(dropout_p_);
-    };
-  engine.set_injection_hook(std::move(hook));
+void FaultInjector::bind(SimBackend& backend) {
+  if (auto* e = dynamic_cast<Engine*>(&backend)) return bind(*e);
+  if (auto* e = dynamic_cast<CountEngine*>(&backend)) return bind(*e);
+  if (auto* e = dynamic_cast<BatchEngine*>(&backend)) return bind(*e);
+  POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
+}
+
+void FaultInjector::attach(Engine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+  bind(engine);
+  // Apply the schedule as of the current time: overdue one-shots (e.g.
+  // corrupt_at(0) perturbing the initial configuration) fire now, and
+  // windows covering the present open immediately.
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+void FaultInjector::attach(CountEngine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+  bind(engine);
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
+void FaultInjector::attach(BatchEngine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+  bind(engine);
   on_round(engine.rounds(), /*at_boundary=*/false);
 }
 
@@ -259,6 +275,135 @@ void FaultInjector::attach(SimBackend& backend) {
   if (auto* e = dynamic_cast<CountEngine*>(&backend)) return attach(*e);
   if (auto* e = dynamic_cast<BatchEngine*>(&backend)) return attach(*e);
   POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
+}
+
+void FaultInjector::snapshot(std::ostream& out) const {
+  // Producer "fault_injector", fingerprint 0: the schedule is protocol-
+  // agnostic, and pairing it with the right engine snapshot is the
+  // checkpoint layer's job (persist/checkpoint.hpp).
+  SnapshotWriter w(out, "fault_injector", /*fingerprint=*/0,
+                   /*population_n=*/0);
+
+  std::string planb;
+  BinWriter p(planb);
+  serialize_fault_plan(p, plan_);
+  w.section(SnapshotSection::kFaultPlan, planb);
+
+  std::string state;
+  BinWriter s(state);
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  s.u64(fired_.size());
+  for (const char f : fired_) s.u8(f ? 1 : 0);
+  s.u64(window_on_.size());
+  for (const char f : window_on_) s.u8(f ? 1 : 0);
+  s.f64(dropout_p_);
+  s.u64(log_.size());
+  for (const Applied& a : log_) {
+    s.f64(a.round);
+    s.u8(static_cast<std::uint8_t>(a.kind));
+    s.u64(a.affected);
+  }
+  w.section(SnapshotSection::kFaultState, state);
+
+  w.finish();
+}
+
+void FaultInjector::restore(std::istream& in, SimBackend& backend) {
+  SnapshotReader reader(in, "fault_injector", /*expected_fingerprint=*/0);
+
+  FaultPlan staged_plan;
+  std::array<std::uint64_t, 4> rng{};
+  std::vector<char> fired;
+  std::vector<char> window;
+  double dropout = 0.0;
+  std::vector<Applied> log;
+  bool have_plan = false, have_state = false;
+
+  SnapshotSection tag;
+  std::string payload;
+  while (reader.next(&tag, &payload)) {
+    BinReader r(payload);
+    switch (tag) {
+      case SnapshotSection::kFaultPlan:
+        staged_plan = deserialize_fault_plan(r);
+        have_plan = true;
+        break;
+      case SnapshotSection::kFaultState: {
+        for (auto& word : rng) word = r.u64();
+        const std::uint64_t nf = r.u64();
+        if (nf > r.remaining())
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "fired vector exceeds payload");
+        fired.resize(static_cast<std::size_t>(nf));
+        for (auto& f : fired) f = r.u8() ? 1 : 0;
+        const std::uint64_t nw = r.u64();
+        if (nw > r.remaining())
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "window vector exceeds payload");
+        window.resize(static_cast<std::size_t>(nw));
+        for (auto& f : window) f = r.u8() ? 1 : 0;
+        dropout = r.f64();
+        const std::uint64_t nl = r.u64();
+        if (nl > r.remaining() / 17)  // f64 + u8 + u64 per entry
+          throw SnapshotError(SnapshotErrc::kCorrupt,
+                              "log length exceeds payload");
+        log.reserve(static_cast<std::size_t>(nl));
+        for (std::uint64_t i = 0; i < nl; ++i) {
+          Applied a;
+          a.round = r.f64();
+          const std::uint8_t kind = r.u8();
+          if (kind > static_cast<std::uint8_t>(FaultKind::kBias))
+            throw SnapshotError(SnapshotErrc::kCorrupt,
+                                "unknown fault kind in log");
+          a.kind = static_cast<FaultKind>(kind);
+          a.affected = r.u64();
+          log.push_back(a);
+        }
+        have_state = true;
+        break;
+      }
+      default:
+        throw SnapshotError(SnapshotErrc::kCorrupt,
+                            "section not used by the fault injector");
+    }
+  }
+  if (!have_plan || !have_state)
+    throw SnapshotError(SnapshotErrc::kTruncated,
+                        "snapshot missing a required section");
+
+  // A snapshot taken before any attach has empty firing vectors; size them.
+  if (fired.empty() && window.empty() && !staged_plan.empty()) {
+    fired.assign(staged_plan.size(), 0);
+    window.assign(staged_plan.size(), 0);
+  }
+  if (fired.size() != staged_plan.size() ||
+      window.size() != staged_plan.size())
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "firing state does not match plan size");
+  if (rng == std::array<std::uint64_t, 4>{})
+    throw SnapshotError(SnapshotErrc::kCorrupt, "all-zero RNG state");
+  if (!(dropout >= 0.0 && dropout <= 1.0))  // also rejects NaN
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "dropout probability out of range");
+
+  // Commit, then bind. Unlike attach, the restored firing state survives:
+  // fired one-shots stay fired and no synchronization on_round runs (it
+  // would re-toggle nothing, but neither would it re-install bias — open
+  // windows are re-applied explicitly because engine snapshots do not
+  // carry runtime attachments).
+  plan_ = std::move(staged_plan);
+  rng_.set_state(rng);
+  fired_ = std::move(fired);
+  window_on_ = std::move(window);
+  dropout_p_ = dropout;
+  log_ = std::move(log);
+
+  if (plan_.empty()) return;  // empty plan installs nothing (attach parity)
+  bind(backend);
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i].kind == FaultKind::kBias && window_on_[i])
+      target_.set_bias(&events[i].bias);
 }
 
 }  // namespace popproto

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "faults/fault_plan.hpp"
@@ -53,6 +54,20 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  // -- Durable state (src/persist/, DESIGN.md §10) --------------------------
+  /// Serialize the plan plus all firing state: the injector RNG stream,
+  /// which one-shots already fired, which dropout/bias windows are open,
+  /// the composed dropout probability, and the applied-event log. A
+  /// restored injector replays exactly the *remaining* schedule.
+  void snapshot(std::ostream& out) const;
+  /// All-or-nothing restore, then bind to `backend` — like attach, except
+  /// the restored firing state is preserved: fired one-shots do not
+  /// re-fire, and open bias/dropout windows are re-applied to the engine
+  /// rather than re-toggled. Restore the backend from its paired snapshot
+  /// first so the schedule resumes at the right time. Throws SnapshotError
+  /// on any malformed input, leaving injector and backend untouched.
+  void restore(std::istream& in, SimBackend& backend);
+
  private:
   /// Engine-agnostic mutation surface the adapters bind at attach time.
   struct Target {
@@ -64,6 +79,14 @@ class FaultInjector {
   };
 
   void reset_firing_state();
+  /// Install target_ lambdas + InjectionHook on the engine without touching
+  /// firing state (shared by attach and restore).
+  void bind(Engine& engine);
+  void bind(CountEngine& engine);
+  void bind(BatchEngine& engine);
+  void bind(SimBackend& backend);
+  void install_hook_on_bound_target();
+  std::function<void(InjectionHook)> set_hook_;  // bound alongside target_
   /// Evaluate the schedule at `round`. `at_boundary` is false for the one
   /// synchronization call attach() makes at the current engine time — it
   /// fires overdue one-shots and opens covering windows, but draws no

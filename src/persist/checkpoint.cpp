@@ -1,0 +1,69 @@
+#include "persist/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "core/sim_backend.hpp"
+#include "faults/injector.hpp"
+#include "support/serialize.hpp"
+
+namespace popproto {
+
+AutoCheckpoint::AutoCheckpoint(SimBackend& backend, Options options,
+                               FaultInjector* injector)
+    : backend_(backend),
+      injector_(injector),
+      options_(std::move(options)),
+      last_rounds_(backend.rounds()) {}
+
+bool AutoCheckpoint::tick() {
+  if (backend_.rounds() - last_rounds_ < options_.every_rounds) return false;
+  write_now();
+  return true;
+}
+
+void AutoCheckpoint::write_now() {
+  const std::string tmp = options_.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw SnapshotError(SnapshotErrc::kIo,
+                          "cannot open checkpoint staging file " + tmp);
+    const char has_injector = injector_ ? 1 : 0;
+    out.put(has_injector);
+    backend_.snapshot(out);
+    if (injector_) injector_->snapshot(out);
+    out.flush();
+    if (!out)
+      throw SnapshotError(SnapshotErrc::kIo,
+                          "checkpoint write failed: " + tmp);
+  }
+  // Atomic publish: readers only ever see the previous or the new complete
+  // checkpoint, never a torn one.
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0)
+    throw SnapshotError(SnapshotErrc::kIo,
+                        "cannot publish checkpoint " + options_.path);
+  last_rounds_ = backend_.rounds();
+  ++written_;
+}
+
+bool AutoCheckpoint::load(const std::string& path, SimBackend& backend,
+                          FaultInjector* injector) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // no checkpoint yet: start fresh
+  const int flag = in.get();
+  if (flag != 0 && flag != 1)
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "checkpoint has a bad injector flag: " + path);
+  if (flag == 1 && !injector)
+    throw SnapshotError(
+        SnapshotErrc::kConfigMismatch,
+        "checkpoint carries fault state but no injector was supplied: " +
+            path);
+  backend.restore(in);
+  if (flag == 1) injector->restore(in, backend);
+  return true;
+}
+
+}  // namespace popproto

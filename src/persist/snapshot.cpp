@@ -1,0 +1,231 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "core/protocol.hpp"
+#include "core/rule.hpp"
+
+namespace popproto {
+
+namespace {
+
+// Sanity cap on one section's payload: a flipped length byte must fail as
+// kCorrupt, not attempt a multi-gigabyte allocation. 1 GiB comfortably
+// clears a 2^30-agent population section (8 GiB of states is split across
+// engines long before this matters; today's largest sections are ~256 MiB).
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 30;
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void hash_guard(BinWriter& w, const Guard& g) {
+  w.u8(g.always_true() ? 1 : 0);
+  const auto terms = g.minterms();
+  w.u64(terms.size());
+  for (const auto& [mask, bits] : terms) {
+    w.u64(mask);
+    w.u64(bits);
+  }
+}
+
+}  // namespace
+
+std::uint64_t protocol_fingerprint(const Protocol& protocol) {
+  std::string buf;
+  BinWriter w(buf);
+  w.str(protocol.name());
+  w.u64(protocol.threads().size());
+  for (const auto& thread : protocol.threads()) {
+    w.str(thread.name);
+    w.u64(thread.rules.size());
+    for (const Rule& rule : thread.rules) {
+      w.str(rule.label());
+      hash_guard(w, rule.initiator_guard());
+      hash_guard(w, rule.responder_guard());
+      w.u64(rule.outcomes().size());
+      for (const Outcome& o : rule.outcomes()) {
+        w.f64(o.probability);
+        w.u64(o.initiator.set_mask);
+        w.u64(o.initiator.clear_mask);
+        w.u64(o.responder.set_mask);
+        w.u64(o.responder.clear_mask);
+      }
+    }
+  }
+  return fnv1a64(buf);
+}
+
+// -- SnapshotWriter ----------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::ostream& out, const std::string& producer,
+                               std::uint64_t fingerprint,
+                               std::uint64_t population_n)
+    : out_(out) {
+  std::string header;
+  BinWriter w(header);
+  w.u32(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  bytes_ += header.size();
+
+  std::string meta;
+  BinWriter m(meta);
+  m.str(producer);
+  m.u64(fingerprint);
+  m.u64(population_n);
+  section(SnapshotSection::kMeta, meta);
+}
+
+void SnapshotWriter::section(SnapshotSection tag, const std::string& payload) {
+  POPPROTO_CHECK_MSG(!finished_, "section() after finish()");
+  std::string head;
+  BinWriter w(head);
+  w.u32(static_cast<std::uint32_t>(tag));
+  w.u64(payload.size());
+  w.u32(crc32(payload));
+  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_)
+    throw SnapshotError(SnapshotErrc::kIo, "snapshot stream write failed");
+  bytes_ += head.size() + payload.size();
+}
+
+void SnapshotWriter::finish() {
+  section(SnapshotSection::kEnd, "");
+  finished_ = true;
+  out_.flush();
+  if (!out_)
+    throw SnapshotError(SnapshotErrc::kIo, "snapshot stream flush failed");
+}
+
+// -- SnapshotReader ----------------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::istream& in,
+                               const std::string& expected_producer,
+                               std::uint64_t expected_fingerprint)
+    : in_(in) {
+  char raw[8];
+  in_.read(raw, sizeof raw);
+  if (in_.gcount() != sizeof raw)
+    throw SnapshotError(SnapshotErrc::kTruncated, "header missing");
+  BinReader r(raw, sizeof raw);
+  if (r.u32() != kSnapshotMagic)
+    throw SnapshotError(SnapshotErrc::kBadMagic, "not a popproto snapshot");
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion)
+    throw SnapshotError(SnapshotErrc::kBadVersion,
+                        "format version " + std::to_string(version) +
+                            " (this build reads " +
+                            std::to_string(kSnapshotVersion) + ")");
+
+  std::uint32_t tag;
+  std::string payload;
+  if (!read_section(&tag, &payload) ||
+      tag != static_cast<std::uint32_t>(SnapshotSection::kMeta))
+    throw SnapshotError(SnapshotErrc::kCorrupt, "first section is not kMeta");
+  BinReader meta(payload);
+  producer_ = meta.str();
+  fingerprint_ = meta.u64();
+  population_n_ = meta.u64();
+  if (producer_ != expected_producer)
+    throw SnapshotError(SnapshotErrc::kBadBackend,
+                        "snapshot written by '" + producer_ +
+                            "', restoring into '" + expected_producer + "'");
+  if (fingerprint_ != expected_fingerprint)
+    throw SnapshotError(SnapshotErrc::kBadFingerprint,
+                        "snapshot was taken under a different protocol");
+}
+
+bool SnapshotReader::read_section(std::uint32_t* tag, std::string* payload) {
+  char head[16];
+  in_.read(head, sizeof head);
+  if (in_.gcount() != sizeof head)
+    throw SnapshotError(SnapshotErrc::kTruncated, "section header missing");
+  BinReader r(head, sizeof head);
+  *tag = r.u32();
+  const std::uint64_t len = r.u64();
+  const std::uint32_t expected_crc = r.u32();
+  if (len > kMaxSectionBytes)
+    throw SnapshotError(SnapshotErrc::kCorrupt, "section length implausible");
+
+  payload->clear();
+  // Chunked read: a corrupted length fails with kTruncated as soon as the
+  // stream runs dry instead of pre-allocating the advertised size.
+  char buf[1 << 16];
+  std::uint64_t left = len;
+  while (left > 0) {
+    const auto want = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(left, sizeof buf));
+    in_.read(buf, want);
+    const std::streamsize got = in_.gcount();
+    if (got <= 0)
+      throw SnapshotError(SnapshotErrc::kTruncated, "section payload missing");
+    payload->append(buf, static_cast<std::size_t>(got));
+    left -= static_cast<std::uint64_t>(got);
+  }
+  if (crc32(*payload) != expected_crc)
+    throw SnapshotError(SnapshotErrc::kBadChecksum,
+                        "section CRC mismatch (corrupted snapshot)");
+  return *tag != static_cast<std::uint32_t>(SnapshotSection::kEnd);
+}
+
+bool SnapshotReader::next(SnapshotSection* tag, std::string* payload) {
+  if (done_) return false;
+  std::uint32_t raw_tag;
+  if (!read_section(&raw_tag, payload)) {
+    done_ = true;
+    return false;
+  }
+  if (raw_tag == static_cast<std::uint32_t>(SnapshotSection::kMeta) ||
+      raw_tag > static_cast<std::uint32_t>(SnapshotSection::kFaultState))
+    throw SnapshotError(SnapshotErrc::kCorrupt,
+                        "unexpected section tag " + std::to_string(raw_tag));
+  *tag = static_cast<SnapshotSection>(raw_tag);
+  return true;
+}
+
+// -- Shared payload helpers --------------------------------------------------
+
+void serialize_counters(BinWriter& w, const EngineCounters& c) {
+  w.u64(c.interactions);
+  w.u64(c.effective_steps);
+  w.u64(c.dropped_interactions);
+  w.u64(c.cache_builds);
+  w.u64(c.cache_fallbacks);
+  w.u64(c.skip_jumps);
+  w.u64(c.skipped_interactions);
+  w.u64(c.crash_events);
+  w.u64(c.rejoin_events);
+  w.u64(c.corrupted_agents);
+  w.u64(c.batch_blocks);
+  w.u64(c.batch_collisions);
+  w.u64(c.cache_hits);
+}
+
+EngineCounters deserialize_counters(BinReader& r) {
+  EngineCounters c;
+  c.interactions = r.u64();
+  c.effective_steps = r.u64();
+  c.dropped_interactions = r.u64();
+  c.cache_builds = r.u64();
+  c.cache_fallbacks = r.u64();
+  c.skip_jumps = r.u64();
+  c.skipped_interactions = r.u64();
+  c.crash_events = r.u64();
+  c.rejoin_events = r.u64();
+  c.corrupted_agents = r.u64();
+  c.batch_blocks = r.u64();
+  c.batch_collisions = r.u64();
+  c.cache_hits = r.u64();
+  return c;
+}
+
+}  // namespace popproto

@@ -1,0 +1,121 @@
+// Versioned, checksummed binary snapshot container (DESIGN.md §10).
+//
+// Every durable artifact the simulator writes — engine snapshots for all
+// three SimBackend substrates, FaultInjector schedule state, periodic
+// auto-checkpoints — shares one container format:
+//
+//   [u32 magic "PPS1"] [u32 format version]
+//   [section]*                  each: u32 tag, u64 payload length,
+//                               u32 CRC32(payload), payload bytes
+//   [kEnd section, length 0]
+//
+// The first section is always kMeta: producer name (the backend_name() of
+// the engine that wrote it, or "fault_injector"), the protocol fingerprint,
+// and the population size. A reader validates magic, version, producer and
+// fingerprint before looking at anything else, and every section's CRC
+// before handing its payload out — so a truncated file, a flipped bit, a
+// snapshot from the wrong substrate, or one taken under a different
+// protocol all fail with a typed SnapshotError and the restoring engine is
+// never touched (engines parse into staging storage and commit only after
+// the whole stream validated; see SimBackend::restore).
+//
+// Versioning/compat policy: the format version is bumped on any layout
+// change; readers reject versions they do not know (kBadVersion) rather
+// than guessing. Within a version, section payloads are fixed little-endian
+// layouts (support/serialize.hpp) — there is no schema negotiation, because
+// a snapshot's purpose is bit-exact resumption on the same code, not
+// long-term archival interchange.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "observe/counters.hpp"
+#include "support/serialize.hpp"
+
+namespace popproto {
+
+class Protocol;
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x31535050u;  // "PPS1"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Section tags. Tag values are part of the on-disk format — append, never
+/// renumber.
+enum class SnapshotSection : std::uint32_t {
+  kEnd = 0,         // terminator (length 0)
+  kMeta = 1,        // producer name, protocol fingerprint, population size
+  kCore = 2,        // time base, flags, engine-specific config
+  kPopulation = 3,  // species / per-agent states, churn state
+  kRngStreams = 4,  // every RNG stream's full 256-bit state
+  kCounters = 5,    // EngineCounters snapshot
+  kFaultPlan = 6,   // serialized FaultPlan events
+  kFaultState = 7,  // FaultInjector firing state (fired/window/log/rng)
+};
+
+/// Order- and content-sensitive fingerprint of a protocol: name, thread
+/// structure, every rule's guards (compiled minterms), labels and weighted
+/// outcome masks. Two protocols with the same fingerprint drive a restored
+/// trajectory identically; a mismatch means the snapshot is meaningless for
+/// this engine and restore refuses it (kBadFingerprint).
+std::uint64_t protocol_fingerprint(const Protocol& protocol);
+
+/// Streaming writer for the container. Usage:
+///   SnapshotWriter w(out, "agent", fingerprint, n);
+///   w.section(SnapshotSection::kCore, core_payload);
+///   ...
+///   w.finish();
+class SnapshotWriter {
+ public:
+  /// Writes the header and kMeta section immediately; throws
+  /// SnapshotError{kIo} when the stream rejects the write.
+  SnapshotWriter(std::ostream& out, const std::string& producer,
+                 std::uint64_t fingerprint, std::uint64_t population_n);
+
+  void section(SnapshotSection tag, const std::string& payload);
+  /// Write the kEnd terminator and flush. No sections may follow.
+  void finish();
+
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Validating reader. The constructor consumes the header and kMeta section
+/// and cross-checks producer/fingerprint; next() then yields payload
+/// sections until the terminator. All failures throw SnapshotError.
+class SnapshotReader {
+ public:
+  SnapshotReader(std::istream& in, const std::string& expected_producer,
+                 std::uint64_t expected_fingerprint);
+
+  /// Advance to the next payload section; false at the kEnd terminator.
+  /// CRC validation happens here, before the caller sees the payload.
+  bool next(SnapshotSection* tag, std::string* payload);
+
+  const std::string& producer() const { return producer_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  std::uint64_t population_n() const { return population_n_; }
+
+ private:
+  /// Read one raw section (tag + verified payload).
+  bool read_section(std::uint32_t* tag, std::string* payload);
+
+  std::istream& in_;
+  std::string producer_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t population_n_ = 0;
+  bool done_ = false;
+};
+
+// -- Shared section payload helpers -----------------------------------------
+
+/// EngineCounters round-trip (kCounters payload): every field, fixed order.
+void serialize_counters(BinWriter& w, const EngineCounters& c);
+EngineCounters deserialize_counters(BinReader& r);
+
+}  // namespace popproto

@@ -45,4 +45,15 @@ Rng Rng::split() {
   return Rng(seed);
 }
 
+std::string rng_state_hex(const Rng& rng) {
+  const auto s = rng.state();
+  char buf[4 * 16 + 4];
+  std::snprintf(buf, sizeof buf, "%016llx:%016llx:%016llx:%016llx",
+                static_cast<unsigned long long>(s[0]),
+                static_cast<unsigned long long>(s[1]),
+                static_cast<unsigned long long>(s[2]),
+                static_cast<unsigned long long>(s[3]));
+  return buf;
+}
+
 }  // namespace popproto

@@ -6,7 +6,9 @@
 // table in bench/ is reproducible bit-for-bit from its seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "support/check.hpp"
@@ -91,6 +93,26 @@ class Rng {
   /// Derive an independent generator (stream-split by jumbling state).
   Rng split();
 
+  // -- Stream-state persistence (src/persist/, DESIGN.md §10) ---------------
+  /// The full 256-bit generator state. Restoring it with set_state resumes
+  /// the stream at the exact draw it was captured at — not a reseed: two
+  /// generators with equal state produce identical draw sequences forever.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    POPPROTO_CHECK_MSG(s[0] || s[1] || s[2] || s[3],
+                       "all-zero xoshiro256** state is invalid");
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
+
+  /// Exact stream-state equality: true iff both generators will produce the
+  /// same draw sequence from here on. This is the persistence-layer check —
+  /// same seed is NOT enough once streams have advanced or been split.
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.s_[0] == b.s_[0] && a.s_[1] == b.s_[1] && a.s_[2] == b.s_[2] &&
+           a.s_[3] == b.s_[3];
+  }
+  friend bool operator!=(const Rng& a, const Rng& b) { return !(a == b); }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
@@ -100,5 +122,9 @@ class Rng {
 
   std::uint64_t s_[4];
 };
+
+/// Hex rendering of a generator's full stream state ("s0:s1:s2:s3"), for
+/// test-failure diagnostics alongside operator== checks.
+std::string rng_state_hex(const Rng& rng);
 
 }  // namespace popproto

@@ -1,0 +1,60 @@
+#include "support/serialize.hpp"
+
+#include <array>
+
+namespace popproto {
+
+const char* snapshot_errc_name(SnapshotErrc code) {
+  switch (code) {
+    case SnapshotErrc::kIo:
+      return "io";
+    case SnapshotErrc::kBadMagic:
+      return "bad_magic";
+    case SnapshotErrc::kBadVersion:
+      return "bad_version";
+    case SnapshotErrc::kBadBackend:
+      return "bad_backend";
+    case SnapshotErrc::kBadFingerprint:
+      return "bad_fingerprint";
+    case SnapshotErrc::kBadChecksum:
+      return "bad_checksum";
+    case SnapshotErrc::kTruncated:
+      return "truncated";
+    case SnapshotErrc::kCorrupt:
+      return "corrupt";
+    case SnapshotErrc::kConfigMismatch:
+      return "config_mismatch";
+  }
+  return "unknown";
+}
+
+SnapshotError::SnapshotError(SnapshotErrc code, const std::string& detail)
+    : std::runtime_error(std::string("snapshot error (") +
+                         snapshot_errc_name(code) + "): " + detail),
+      code_(code) {}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace popproto

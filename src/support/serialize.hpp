@@ -1,0 +1,177 @@
+// Binary serialization primitives for the persistence layer (DESIGN.md §10).
+//
+// Everything durable this library writes — engine snapshots, fault-schedule
+// state, auto-checkpoints — is framed with these three pieces:
+//
+//  * crc32(): the IEEE 802.3 polynomial, table-driven; every snapshot
+//    section carries the checksum of its payload so bit rot and truncation
+//    are detected before any state is touched.
+//  * BinWriter: append-only little-endian encoder into a std::string buffer.
+//    Doubles are serialized as their IEEE-754 bit patterns, so a restored
+//    engine resumes from the *exact* accumulated parallel time — replay is
+//    bit-identical, not approximately-equal.
+//  * BinReader: bounds-checked decoder over a byte buffer. Every read that
+//    would run past the end throws SnapshotError{kTruncated}; nothing is
+//    ever silently zero-filled.
+//
+// SnapshotError is the single typed error for all persistence failures
+// (support layer so core/, faults/, and persist/ can all throw it without
+// dependency cycles). The contract everywhere: a failed restore throws and
+// leaves the target object untouched — parse into staging storage first,
+// commit only after the whole stream validated.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace popproto {
+
+/// Why a snapshot could not be read. Carried by SnapshotError.
+enum class SnapshotErrc {
+  kIo,              // stream read/write failed
+  kBadMagic,        // not a popproto snapshot
+  kBadVersion,      // format version this build does not understand
+  kBadBackend,      // snapshot was taken from a different substrate
+  kBadFingerprint,  // snapshot was taken under a different protocol
+  kBadChecksum,     // section payload fails its CRC32
+  kTruncated,       // stream ended mid-structure
+  kCorrupt,         // structurally invalid (unknown tag, bad counts, ...)
+  kConfigMismatch,  // engine config (shards, scheduler, ...) incompatible
+};
+
+const char* snapshot_errc_name(SnapshotErrc code);
+
+/// Typed error for every persistence failure. Restores that throw guarantee
+/// the target engine is unchanged.
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotErrc code, const std::string& detail);
+  SnapshotErrc code() const { return code_; }
+
+ private:
+  SnapshotErrc code_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `len` bytes.
+std::uint32_t crc32(const void* data, std::size_t len);
+inline std::uint32_t crc32(const std::string& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+/// Little-endian append-only encoder.
+class BinWriter {
+ public:
+  explicit BinWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (const std::uint64_t x : v) u64(x);
+  }
+  void u32_vec(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    for (const std::uint32_t x : v) u32(x);
+  }
+
+  std::size_t bytes_written() const { return out_.size(); }
+
+ private:
+  void append(const void* p, std::size_t len) {
+    out_.append(static_cast<const char*>(p), len);
+  }
+  std::string& out_;
+};
+
+/// Bounds-checked little-endian decoder; throws SnapshotError{kTruncated}
+/// instead of reading past the end, SnapshotError{kCorrupt} on impossible
+/// counts (a flipped length byte must not turn into a 2^60-element resize).
+class BinReader {
+ public:
+  BinReader(const void* data, std::size_t len)
+      : p_(static_cast<const unsigned char*>(data)), end_(p_ + len) {}
+  explicit BinReader(const std::string& bytes)
+      : BinReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t len = checked_count(1);
+    std::string s(reinterpret_cast<const char*>(p_),
+                  static_cast<std::size_t>(len));
+    p_ += len;
+    return s;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t len = checked_count(8);
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(len));
+    for (auto& x : v) x = u64();
+    return v;
+  }
+  std::vector<std::uint32_t> u32_vec() {
+    const std::uint64_t len = checked_count(4);
+    std::vector<std::uint32_t> v(static_cast<std::size_t>(len));
+    for (auto& x : v) x = u32();
+    return v;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool at_end() const { return p_ == end_; }
+
+ private:
+  void need(std::size_t len) const {
+    if (remaining() < len)
+      throw SnapshotError(SnapshotErrc::kTruncated,
+                          "payload ended mid-structure");
+  }
+  void take(void* out, std::size_t len) {
+    need(len);
+    std::memcpy(out, p_, len);
+    p_ += len;
+  }
+  /// Read an element count and verify count * elem_size fits in what is
+  /// left, so corrupted lengths fail loudly instead of allocating wildly.
+  std::uint64_t checked_count(std::size_t elem_size) {
+    const std::uint64_t n = u64();
+    if (n > remaining() / elem_size)
+      throw SnapshotError(SnapshotErrc::kCorrupt,
+                          "element count exceeds payload size");
+    return n;
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+}  // namespace popproto
