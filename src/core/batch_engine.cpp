@@ -15,6 +15,44 @@ namespace {
 // lone agent can never be matched, so a 1-agent shard would silently idle.
 constexpr std::size_t kMinUsableShard = 2;
 
+// Batched bounded draws for the matching shuffle: two 32-bit Lemire
+// rejection draws per 64-bit xoshiro output. Slot ids are u32, so every
+// Fisher–Yates bound fits in 32 bits and the shuffle can run on half-words,
+// halving the generator advances (the dominant cost of the shuffle). Each
+// half rejects independently — the accepted stream is still exactly uniform.
+class HalfWordDraws {
+ public:
+  explicit HalfWordDraws(Rng& rng) : rng_(rng) {}
+
+  std::uint32_t below(std::uint32_t bound) {
+    for (;;) {
+      const std::uint64_t m =
+          static_cast<std::uint64_t>(next_half()) * bound;
+      const auto low = static_cast<std::uint32_t>(m);
+      if (low >= bound) [[likely]]
+        return static_cast<std::uint32_t>(m >> 32);
+      // Rare path: compute the exact rejection threshold (2^32 - b) mod b.
+      if (low >= static_cast<std::uint32_t>(-bound) % bound)
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+  }
+
+ private:
+  std::uint32_t next_half() {
+    if (buffered_) {
+      buffered_ = false;
+      return static_cast<std::uint32_t>(word_ >> 32);
+    }
+    word_ = rng_();
+    buffered_ = true;
+    return static_cast<std::uint32_t>(word_);
+  }
+
+  Rng& rng_;
+  std::uint64_t word_ = 0;
+  bool buffered_ = false;
+};
+
 }  // namespace
 
 BatchEngine::BatchEngine(const Protocol& protocol, std::vector<State> initial,
@@ -45,11 +83,11 @@ BatchEngine::BatchEngine(const Protocol& protocol, std::vector<State> initial,
   std::size_t off = 0;
   for (std::size_t s = 0; s < t; ++s) {
     const std::size_t take = base + (s < extra ? 1 : 0);
-    Shard sh{{},
-             Rng(splitmix64(sm)),
-             TransitionCache(protocol_, params_.max_cache_states),
+    Shard sh{Rng(splitmix64(sm)),
+             0,
              {},
-             0};
+             {},
+             TransitionCache(protocol_, params_.max_cache_states)};
     sh.slots.reserve(take);
     for (std::size_t i = 0; i < take; ++i)
       sh.slots.push_back(
@@ -177,10 +215,16 @@ void BatchEngine::shard_round(Shard& sh) {
   if (m < 2) return;
   // Uniformly random maximal matching over the shard: Fisher–Yates, then
   // pair consecutive entries — the sample_random_matching law, with the
-  // orientation uniform because the shuffle is.
-  for (std::size_t i = m - 1; i > 0; --i) {
-    const std::size_t j = sh.rng.below(i + 1);
-    std::swap(slots[i], slots[j]);
+  // orientation uniform because the shuffle is. The shuffle draws on
+  // half-words (two bounded draws per generator advance); the buffered half
+  // dies with the local draw state, so the pairing loop below resumes the
+  // stream at a whole-word boundary.
+  {
+    HalfWordDraws draw(sh.rng);
+    for (std::size_t i = m - 1; i > 0; --i) {
+      const std::size_t j = draw.below(static_cast<std::uint32_t>(i + 1));
+      std::swap(slots[i], slots[j]);
+    }
   }
   const bool dropping = static_cast<bool>(injection_.drop_interaction);
   const bool biased = bias_ && bias_->epsilon > 0.0;

@@ -168,12 +168,21 @@ class BatchEngine final : public SimBackend {
   // bits, agent id in the low 32 — one 64-bit swap moves both during the
   // matching shuffle), a private RNG stream, a private transition cache,
   // and private telemetry tallies.
-  struct Shard {
-    std::vector<std::uint64_t> slots;
+  //
+  // alignas(64): shards live contiguously in shards_, and every member up
+  // to `cache` is written by its owning worker on every round — without the
+  // alignment, shard s's RNG state and shard s+1's counters land on one
+  // cache line and each round ping-pongs it between cores. Hot mutable
+  // members are grouped at the front (same line as the slots pointer);
+  // the cache (large, cold header) sits last. The per-agent states_ array
+  // is still shared — after a migration, shards write scattered entries of
+  // it, which is inherent to global-state sharing and decays with n.
+  struct alignas(64) Shard {
     Rng rng;
-    TransitionCache cache;
-    EngineCounters ctr;
     std::uint64_t pairs = 0;  // pairs matched in the last round
+    std::vector<std::uint64_t> slots;
+    EngineCounters ctr;
+    TransitionCache cache;
   };
 
   static std::uint64_t pack(std::uint32_t sidx, std::uint32_t id) {
