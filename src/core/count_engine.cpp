@@ -406,6 +406,7 @@ void CountEngine::batch_collision_interaction(std::uint64_t* m_total,
   // so an integer draw over the three weights is the exact conditional.
   const std::uint64_t u = *u_total;
   const std::uint64_t m = *m_total;
+  POPPROTO_CHECK_MSG(u > 0, "collision interaction with no touched agents");
   const std::uint64_t wtt = u > 0 ? u * (u - 1) : 0;
   const std::uint64_t wtu = u * m;
   const std::uint64_t r = rng_.below(wtt + 2 * wtu);
@@ -892,6 +893,22 @@ void CountEngine::restore(std::istream& in) {
   bat_cum_.clear();
   bat_res_.clear();
   last_injection_round_ = std::floor(time_);
+}
+
+void CountEngine::reset_population(
+    const std::vector<std::pair<State, std::uint64_t>>& counts) {
+  states_.clear();
+  counts_.clear();
+  index_.clear();
+  n_ = 0;
+  for (const auto& [s, c] : counts) add_count(s, c);
+  POPPROTO_CHECK_MSG(n_ >= 2, "population needs at least 2 agents");
+  // A fresh deal may re-enable rules; everything derived from the old
+  // species table is rebuilt lazily on the next step.
+  silent_ = false;
+  events_.clear();
+  events_total_weight_ = 0.0;
+  window_steps_ = window_effective_ = 0;
 }
 
 std::uint64_t CountEngine::count_state(State s) const {

@@ -112,6 +112,16 @@ class CountEngine final : public SimBackend {
       std::uint64_t k, Rng& rng,
       const std::function<State(State old_state, std::uint64_t j)>& f);
 
+  /// Replace the scheduled population with `counts` (counts must sum to
+  /// >= 2), keeping the RNG stream, time base, interaction/effective
+  /// totals, crashed multiset, mode and telemetry intact. This is the
+  /// cross-shard migration primitive of CountShardEngine: a re-deal swaps
+  /// populations between sub-engines without perturbing any stream or
+  /// clock. Clears the silent latch and all derived state (event list,
+  /// species index, hysteresis window).
+  void reset_population(
+      const std::vector<std::pair<State, std::uint64_t>>& counts);
+
   std::uint64_t count_state(State s) const;
   std::uint64_t count_matching(const Guard& g) const override;
   std::uint64_t count_matching(const BoolExpr& e) const {

@@ -354,6 +354,33 @@ void sample_multinomial(Rng& rng, std::uint64_t n, const double* p,
   if (k > 0) out[k - 1] = n;
 }
 
+namespace {
+
+// log(m! / (m-k)!), the falling-factorial mass the collision survival
+// function needs. Subtracting two log_factorial values loses absolute
+// precision proportional to m log m — at m ~ 2^27 the ~2.4e9-magnitude
+// terms cancel to an error near 1e-6, enough to drive log S(1) below zero
+// at m == n, an impossible "collision before the first interaction" whose
+// zero-touched-agent aftermath corrupts the batch pools. Expanding the
+// Stirling difference keeps every term O(k log m), so the absolute error
+// stays near 1e-10 at any population scale.
+double log_falling_factorial(std::uint64_t m, std::uint64_t k) {
+  const std::uint64_t r = m - k;
+  if (r < kLogFactTableSize) return log_factorial(m) - log_factorial(r);
+  const double md = static_cast<double>(m);
+  const double kd = static_cast<double>(k);
+  const double rd = static_cast<double>(r);
+  const double lr = -std::log1p(-kd / md);  // log(m / (m-k)), no cancel
+  const auto series = [](double x) {
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    return inv / 12.0 - inv * inv2 / 360.0 + inv * inv2 * inv2 / 1260.0;
+  };
+  return (rd + 0.5) * lr + kd * std::log(md) - kd + series(md) - series(rd);
+}
+
+}  // namespace
+
 std::uint64_t sample_collision_run(Rng& rng, std::uint64_t n, std::uint64_t m,
                                    std::uint64_t lmax, bool* collided) {
   POPPROTO_DCHECK(n >= 2 && m <= n);
@@ -367,9 +394,8 @@ std::uint64_t sample_collision_run(Rng& rng, std::uint64_t n, std::uint64_t m,
   // binary search on the (monotone) log survival.
   const double log_pairs = std::log(static_cast<double>(n)) +
                            std::log(static_cast<double>(n - 1));
-  const double lf_m = log_factorial(m);
   const auto log_survival = [&](std::uint64_t l) {
-    return lf_m - log_factorial(m - 2 * l) -
+    return log_falling_factorial(m, 2 * l) -
            static_cast<double>(l) * log_pairs;
   };
   const double lu = std::log(1.0 - rng.uniform());  // log U, U in (0, 1]
@@ -388,7 +414,13 @@ std::uint64_t sample_collision_run(Rng& rng, std::uint64_t n, std::uint64_t m,
     }
   }
   *collided = true;
-  return lo - 1;
+  std::uint64_t run = lo - 1;
+  // S(1) == 1 exactly when the whole pool is untouched (m == n): the first
+  // interaction cannot collide. Residual float slack in the inversion must
+  // not emit that impossible outcome — the caller would then sample a
+  // collision participant from an empty touched pool.
+  if (run == 0 && m == n) run = 1;
+  return run;
 }
 
 }  // namespace popproto

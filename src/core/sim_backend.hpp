@@ -1,16 +1,20 @@
 // SimBackend — the common simulation-backend interface (DESIGN.md §8).
 //
-// Three substrates simulate the same stochastic process at different
+// Four substrates simulate the same stochastic process at different
 // operating points:
 //
-//   * Engine       (core/engine.hpp)       — agent-based, one interaction
+//   * Engine          (core/engine.hpp)       — agent-based, one interaction
 //     (or one matching round) per step on one thread; the reference
 //     implementation of both paper schedulers.
-//   * CountEngine  (core/count_engine.hpp) — species-abundance counts with
-//     exact geometric skip-ahead; the late-stage / sparse-dynamics backend.
-//   * BatchEngine  (core/batch_engine.hpp) — sharded batch-parallel
+//   * CountEngine     (core/count_engine.hpp) — species-abundance counts
+//     with exact geometric skip-ahead and O(√n)-amortized collision-sampled
+//     batches; the late-stage / sparse-dynamics backend.
+//   * BatchEngine     (core/batch_engine.hpp) — sharded batch-parallel
 //     random-matching rounds (§5.2 / Thm 5.1 scheduler) across worker
-//     threads; the large-n throughput backend.
+//     threads; the large-n per-agent throughput backend.
+//   * CountShardEngine (core/count_shard_engine.hpp) — species-count shards
+//     each advancing collision-sampled batches, with hypergeometric
+//     cross-shard migration; the extreme-n (2^30) parallel backend.
 //
 // This interface is the part every driver (benches, FaultInjector,
 // Telemetry, experiment sweeps) actually consumes: advance time, observe
@@ -49,7 +53,8 @@ class SimBackend {
  public:
   virtual ~SimBackend() = default;
 
-  /// Stable identifier of the substrate: "agent", "count", or "batch".
+  /// Stable identifier of the substrate: "agent", "count", "batch", or
+  /// "count_shard".
   virtual const char* backend_name() const = 0;
 
   /// One scheduler activation (one interaction, one skip-ahead jump, or one

@@ -6,6 +6,7 @@
 
 #include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
+#include "core/count_shard_engine.hpp"
 #include "core/engine.hpp"
 #include "persist/snapshot.hpp"
 
@@ -239,10 +240,36 @@ void FaultInjector::bind(BatchEngine& engine) {
   install_hook_on_bound_target();
 }
 
+void FaultInjector::bind(CountShardEngine& engine) {
+  target_.active_n = [&engine] { return engine.active_n(); };
+  target_.corrupt = [this, &engine](const CorruptSpec& spec,
+                                    std::uint64_t k) -> std::uint64_t {
+    return engine.mutate_random_agents(
+        k, rng_, [this, &spec](State old, std::uint64_t j) {
+          return (old & ~spec.mask) | (corrupt_value(spec, j) & spec.mask);
+        });
+  };
+  target_.crash = [this, &engine](std::uint64_t k) {
+    return engine.crash_random(k, rng_);
+  };
+  target_.rejoin = [this, &engine](const RejoinSpec& spec, std::uint64_t k) {
+    return spec.all ? engine.rejoin_all() : engine.rejoin_random(k, rng_);
+  };
+  target_.set_bias = [&engine](const SchedulerBias* bias) {
+    engine.set_scheduler_bias(bias ? std::optional<SchedulerBias>(*bias)
+                                   : std::nullopt);
+  };
+  set_hook_ = [&engine](InjectionHook hook) {
+    engine.set_injection_hook(std::move(hook));
+  };
+  install_hook_on_bound_target();
+}
+
 void FaultInjector::bind(SimBackend& backend) {
   if (auto* e = dynamic_cast<Engine*>(&backend)) return bind(*e);
   if (auto* e = dynamic_cast<CountEngine*>(&backend)) return bind(*e);
   if (auto* e = dynamic_cast<BatchEngine*>(&backend)) return bind(*e);
+  if (auto* e = dynamic_cast<CountShardEngine*>(&backend)) return bind(*e);
   POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
 }
 
@@ -270,10 +297,18 @@ void FaultInjector::attach(BatchEngine& engine) {
   on_round(engine.rounds(), /*at_boundary=*/false);
 }
 
+void FaultInjector::attach(CountShardEngine& engine) {
+  reset_firing_state();
+  if (plan_.empty()) return;  // zero-overhead no-op guarantee
+  bind(engine);
+  on_round(engine.rounds(), /*at_boundary=*/false);
+}
+
 void FaultInjector::attach(SimBackend& backend) {
   if (auto* e = dynamic_cast<Engine*>(&backend)) return attach(*e);
   if (auto* e = dynamic_cast<CountEngine*>(&backend)) return attach(*e);
   if (auto* e = dynamic_cast<BatchEngine*>(&backend)) return attach(*e);
+  if (auto* e = dynamic_cast<CountShardEngine*>(&backend)) return attach(*e);
   POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
 }
 

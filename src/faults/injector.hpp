@@ -28,6 +28,7 @@ namespace popproto {
 class Engine;
 class CountEngine;
 class BatchEngine;
+class CountShardEngine;
 class SimBackend;
 
 class FaultInjector {
@@ -40,6 +41,7 @@ class FaultInjector {
   void attach(Engine& engine);
   void attach(CountEngine& engine);
   void attach(BatchEngine& engine);
+  void attach(CountShardEngine& engine);
   /// Backend-generic entry: dispatches to the matching concrete overload
   /// (churn and corruption need each backend's own mutation primitives, so
   /// SimBackend alone is not enough to bind a Target).
@@ -84,6 +86,7 @@ class FaultInjector {
   void bind(Engine& engine);
   void bind(CountEngine& engine);
   void bind(BatchEngine& engine);
+  void bind(CountShardEngine& engine);
   void bind(SimBackend& backend);
   void install_hook_on_bound_target();
   std::function<void(InjectionHook)> set_hook_;  // bound alongside target_

@@ -5,7 +5,23 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace popproto {
+
+unsigned probe_hardware_threads() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof mask, &mask) == 0) {
+    const int cpus = CPU_COUNT(&mask);
+    if (cpus > 0) return static_cast<unsigned>(cpus);
+  }
+#endif
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
   if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());

@@ -13,6 +13,16 @@
 
 namespace popproto {
 
+/// Hardware parallelism actually available to *this process* right now: the
+/// CPU-affinity mask population where the platform exposes one (Linux
+/// sched_getaffinity — containers and taskset-pinned runs report their real
+/// allowance, not the machine's core count), falling back to
+/// std::thread::hardware_concurrency(). Min 1. Benchmarks stamp this at
+/// record time so a `threads > probe` sweep is flagged degraded_parallelism
+/// (it measures oversubscription, not scaling) instead of polluting the
+/// speedup trajectory.
+unsigned probe_hardware_threads();
+
 class ThreadPool {
  public:
   /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1).

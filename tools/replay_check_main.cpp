@@ -7,11 +7,13 @@
 // the bit-identical-resume contract by hand.
 //
 // Usage:
-//   replay_check --backend agent|count|batch [--threads T] [--mode M]
-//                [--n N] [--rounds K] [--seed S] [--faults]
+//   replay_check --backend agent|count|batch|count_shard [--threads T]
+//                [--shards S] [--mode M] [--n N] [--rounds K] [--seed S]
+//                [--faults]
 //
 //   --backend  which SimBackend to exercise (default agent)
 //   --threads  BatchEngine shard/thread count (default 2)
+//   --shards   CountShardEngine shard count (default 2)
 //   --mode     CountEngine mode: direct|skip|auto|batch (default batch)
 //   --n        population size (default 4096)
 //   --rounds   k: rounds before the snapshot and again after (default 24)
@@ -29,6 +31,7 @@
 #include "clocks/phase_clock.hpp"
 #include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
+#include "core/count_shard_engine.hpp"
 #include "core/engine.hpp"
 #include "faults/fault_plan.hpp"
 #include "persist/replay_check.hpp"
@@ -39,8 +42,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --backend agent|count|batch [--threads T] "
-               "[--mode M] [--n N] [--rounds K] [--seed S] [--faults]\n",
+               "usage: %s --backend agent|count|batch|count_shard "
+               "[--threads T] [--shards S] [--mode M] [--n N] [--rounds K] "
+               "[--seed S] [--faults]\n",
                argv0);
   return 2;
 }
@@ -54,8 +58,9 @@ CountEngineMode parse_mode(const std::string& mode) {
   std::exit(2);
 }
 
-int run(const std::string& backend, unsigned threads, const std::string& mode,
-        std::uint64_t n, double rounds, std::uint64_t seed, bool faults) {
+int run(const std::string& backend, unsigned threads, std::size_t shards,
+        const std::string& mode, std::uint64_t n, double rounds,
+        std::uint64_t seed, bool faults) {
   BackendFactory make;
   // Keep the var spaces and protocols alive across both factory calls.
   auto clock_vars = make_var_space();
@@ -86,6 +91,17 @@ int run(const std::string& backend, unsigned threads, const std::string& mode,
       params.threads = threads;
       return std::make_unique<BatchEngine>(clock_proto, clock_init, seed,
                                            params);
+    };
+  } else if (backend == "count_shard") {
+    make = [&, shards] {
+      CountShardEngine::Params params;
+      params.shards = shards;
+      params.min_shard = 2;  // keep the requested shard count at small n
+      return std::make_unique<CountShardEngine>(
+          maj_proto,
+          std::vector<std::pair<State, std::uint64_t>>{{ma, n / 2},
+                                                       {mb, n - n / 2}},
+          seed, params);
     };
   } else {
     std::fprintf(stderr, "unknown --backend %s\n", backend.c_str());
@@ -121,6 +137,7 @@ int main(int argc, char** argv) {
   std::string backend = "agent";
   std::string mode = "batch";
   unsigned threads = 2;
+  std::size_t shards = 2;
   std::uint64_t n = 4096;
   double rounds = 24.0;
   std::uint64_t seed = 7;
@@ -135,11 +152,13 @@ int main(int argc, char** argv) {
     if (arg == "--backend") backend = next();
     else if (arg == "--mode") mode = next();
     else if (arg == "--threads") threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--shards") shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     else if (arg == "--n") n = std::strtoull(next(), nullptr, 10);
     else if (arg == "--rounds") rounds = std::strtod(next(), nullptr);
     else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--faults") faults = true;
     else return popproto::usage(argv[0]);
   }
-  return popproto::run(backend, threads, mode, n, rounds, seed, faults);
+  return popproto::run(backend, threads, shards, mode, n, rounds, seed,
+                       faults);
 }
