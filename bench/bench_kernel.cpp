@@ -16,17 +16,18 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "clocks/oscillator.hpp"
 #include "clocks/phase_clock.hpp"
 #include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
+#include "core/count_shard_engine.hpp"
 #include "core/engine.hpp"
 #include "observe/telemetry.hpp"
 #include "protocols/baselines.hpp"
 #include "support/bench_io.hpp"
+#include "support/thread_pool.hpp"
 
 namespace popproto {
 namespace {
@@ -242,7 +243,6 @@ void bench_batch_backend(bool smoke, std::vector<BenchRecord>& out,
   // by the OS, and the honest (lower) number is recorded.
   const std::size_t n = smoke ? (std::size_t{1} << 17) : (std::size_t{1} << 20);
   const double rounds = smoke ? 24.0 : 48.0;
-  const double hw = static_cast<double>(std::thread::hardware_concurrency());
 
   auto vars = make_var_space();
   const Protocol proto = make_phase_clock_protocol(vars);
@@ -259,7 +259,8 @@ void bench_batch_backend(bool smoke, std::vector<BenchRecord>& out,
     agent_ips = r.ips;
     BenchRecord rec = engine_record("phase_clock_agent_baseline", r,
                                     static_cast<double>(n));
-    rec.extra.emplace_back("hardware_threads", hw);
+    rec.extra.emplace_back("hardware_threads",
+                           static_cast<double>(probe_hardware_threads()));
     out.push_back(std::move(rec));
     telemetry.add_counters(eng.counters(), "batch_baseline.");
     std::printf("%-32s %12.3g int/s\n", "phase_clock_agent_baseline",
@@ -291,6 +292,10 @@ void bench_batch_backend(bool smoke, std::vector<BenchRecord>& out,
     rec.extra.emplace_back("n", static_cast<double>(n));
     rec.extra.emplace_back("threads", static_cast<double>(threads));
     rec.extra.emplace_back("shards", static_cast<double>(eng.shards()));
+    // Probed at record time, per record: the affinity mask can shrink while
+    // a suite runs (CI runners, cgroup changes), and a stale probe is
+    // exactly the degraded-benchmark trap the flag exists to catch.
+    const double hw = static_cast<double>(probe_hardware_threads());
     rec.extra.emplace_back("hardware_threads", hw);
     // When the host has fewer hardware threads than the shard count, the
     // "parallel" run is OS-serialized and speedup_vs_agent measures the
@@ -306,6 +311,119 @@ void bench_batch_backend(bool smoke, std::vector<BenchRecord>& out,
                            "batch_t" + std::to_string(threads) + ".");
     std::printf("%-32s %12.3g int/s   (%.2fx vs agent baseline)\n",
                 name.c_str(), ips, ips / agent_ips);
+  }
+}
+
+void bench_count_shard(bool smoke, std::vector<BenchRecord>& out,
+                       Telemetry& telemetry) {
+  // Count-sharded batch backend scaling series (DESIGN.md §11): approximate
+  // majority run to consensus silence under shards in {1, 2, 4, 8} vs the
+  // sequential agent engine at the same n. The shard count is the scaled
+  // axis (it is structural); worker threads clamp to min(shards, probed
+  // hardware), so the `threads` / `hardware_threads` extras record what
+  // actually ran and degraded_parallelism stays an execution fact, not a
+  // configuration one. Record names are n-independent like the batch series.
+  const std::uint64_t n =
+      smoke ? (std::uint64_t{1} << 20) : (std::uint64_t{1} << 24);
+  auto vars = make_var_space();
+  const Protocol proto = make_approximate_majority_protocol(vars);
+  const State a = var_bit(*vars->find("BA"));
+  const State b = var_bit(*vars->find("BB"));
+  const std::uint64_t na = n * 11 / 20;  // 55/45 split
+
+  // Agent-engine baseline on the same workload: per-interaction cost is
+  // n-independent, so a fixed step budget gives the honest int/s floor.
+  double agent_ips = 0.0;
+  {
+    std::vector<State> init(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < init.size(); ++i) init[i] = i < na ? a : b;
+    Engine eng(proto, std::move(init), /*seed=*/7);
+    const std::uint64_t steps =
+        smoke ? (std::uint64_t{1} << 20) : (std::uint64_t{1} << 22);
+    const EngineRate r = time_engine(eng, steps / 4, steps);
+    agent_ips = r.ips;
+    BenchRecord rec =
+        engine_record("count_shard_agent_baseline", r, static_cast<double>(n));
+    rec.extra.emplace_back("hardware_threads",
+                           static_cast<double>(probe_hardware_threads()));
+    out.push_back(std::move(rec));
+    telemetry.add_counters(eng.counters(), "count_shard_baseline.");
+    std::printf("%-32s %12.3g int/s\n", "count_shard_agent_baseline",
+                agent_ips);
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    CountShardEngine::Params params;
+    params.shards = shards;
+    CountShardEngine eng(proto, {{a, na}, {b, n - na}}, /*seed=*/7, params);
+    const double t0 = now_seconds();
+    while (eng.step() && eng.rounds() < 4096.0) {
+    }
+    const double wall = now_seconds() - t0;
+    const double ips = static_cast<double>(eng.interactions()) / wall;
+    const std::string name = "count_shard_majority_t" + std::to_string(shards);
+    BenchRecord rec;
+    rec.name = name;
+    rec.wall_seconds = wall;
+    rec.interactions_per_sec = ips;
+    rec.effective_interactions_per_sec =
+        static_cast<double>(eng.counters().effective_steps) / wall;
+    rec.extra.emplace_back("n", static_cast<double>(n));
+    rec.extra.emplace_back("shards", static_cast<double>(eng.shards()));
+    rec.extra.emplace_back("threads", static_cast<double>(eng.threads()));
+    const double hw = static_cast<double>(probe_hardware_threads());
+    rec.extra.emplace_back("hardware_threads", hw);
+    rec.extra.emplace_back("degraded_parallelism",
+                           hw < static_cast<double>(eng.threads()) ? 1.0
+                                                                   : 0.0);
+    rec.extra.emplace_back("migrate_every",
+                           static_cast<double>(eng.migrate_every()));
+    rec.extra.emplace_back("consensus_rounds", eng.rounds());
+    rec.extra.emplace_back("speedup_vs_agent", ips / agent_ips);
+    out.push_back(std::move(rec));
+    telemetry.add_counters(eng.counters(),
+                           "count_shard_t" + std::to_string(shards) + ".");
+    std::printf("%-32s %12.3g int/s   (%.2fx vs agent baseline)\n",
+                name.c_str(), ips, ips / agent_ips);
+  }
+
+  if (!smoke) {
+    // The extreme-n record: one billion-agent (n = 2^30) majority run to
+    // consensus. Full-mode only (a smoke run would dominate CI wall time)
+    // and deliberately without telemetry counters, so the smoke/full
+    // telemetry key sets stay identical for the CI drift check.
+    const std::uint64_t big = std::uint64_t{1} << 30;
+    const std::uint64_t big_a = big * 11 / 20;
+    CountShardEngine::Params params;
+    params.shards = 8;
+    CountShardEngine eng(proto, {{a, big_a}, {b, big - big_a}}, /*seed=*/7,
+                         params);
+    const double t0 = now_seconds();
+    while (eng.step() && eng.rounds() < 4096.0) {
+    }
+    const double wall = now_seconds() - t0;
+    BenchRecord rec;
+    rec.name = "count_shard_majority_n30";
+    rec.wall_seconds = wall;
+    rec.interactions_per_sec = static_cast<double>(eng.interactions()) / wall;
+    rec.effective_interactions_per_sec =
+        static_cast<double>(eng.counters().effective_steps) / wall;
+    rec.extra.emplace_back("n", static_cast<double>(big));
+    rec.extra.emplace_back("shards", static_cast<double>(eng.shards()));
+    rec.extra.emplace_back("threads", static_cast<double>(eng.threads()));
+    const double hw = static_cast<double>(probe_hardware_threads());
+    rec.extra.emplace_back("hardware_threads", hw);
+    rec.extra.emplace_back("degraded_parallelism",
+                           hw < static_cast<double>(eng.threads()) ? 1.0
+                                                                   : 0.0);
+    rec.extra.emplace_back("migrate_every",
+                           static_cast<double>(eng.migrate_every()));
+    rec.extra.emplace_back("consensus_rounds", eng.rounds());
+    out.push_back(std::move(rec));
+    std::printf("%-32s %12.3g int/s   (n = 2^30, %.1f rounds, %.1fs)\n",
+                "count_shard_majority_n30", rec.interactions_per_sec,
+                eng.rounds(), wall);
   }
 }
 
@@ -344,6 +462,7 @@ int run(bool smoke) {
                     telemetry);
   bench_count_skip(smoke ? 2 : 8, records, telemetry);
   bench_batch_backend(smoke, records, telemetry);
+  bench_count_shard(smoke, records, telemetry);
 
   const std::string path = bench_json_path("BENCH_engine.json");
   if (!write_bench_json(path, "bench_kernel", records)) return 1;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare the two most recent history entries of a BENCH_*.json trajectory.
+
+BENCH files (support/bench_io.hpp) carry an append-only ``history`` array:
+every suite run appends ``{git_sha, timestamp, suite, records}``. This tool
+lines up, per record name, the latest measurement against the most recent
+earlier one and prints the delta, so a perf regression shows up as a signed
+percentage next to the commit that introduced it.
+
+Exit status is nonzero when any record's chosen metric dropped by more than
+``--threshold`` (fraction, default 0.25). CI runs this warn-only
+(continue-on-error): hosted-runner noise routinely exceeds any honest
+threshold, so the signal is the printed table, not the gate. For local
+before/after runs on quiet hardware the exit code is trustworthy.
+
+Usage:
+  tools/bench_diff.py [BENCH_engine.json]
+      [--metric interactions_per_sec] [--threshold 0.25] [--suite NAME]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_history(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    history = data.get("history")
+    if not isinstance(history, list) or not history:
+        print(f"{path}: no history array (pre-history file?)", file=sys.stderr)
+        sys.exit(2)
+    return history
+
+
+def latest_two_per_record(history, metric, suite):
+    """Yield (name, old_entry, old_value, new_entry, new_value)."""
+    if suite:
+        history = [h for h in history if h.get("suite") == suite]
+    # Walk newest-first; the first entry containing a name is "new", the
+    # next one containing it is "old".
+    seen = {}
+    for entry in reversed(history):
+        for rec in entry.get("records", []):
+            name = rec.get("name")
+            value = rec.get(metric, 0)
+            if not name or not isinstance(value, (int, float)) or value <= 0:
+                continue
+            if name not in seen:
+                seen[name] = (entry, value, None, None)
+            elif seen[name][2] is None:
+                new_entry, new_value, _, _ = seen[name]
+                seen[name] = (new_entry, new_value, entry, value)
+    for name in sorted(seen):
+        new_entry, new_value, old_entry, old_value = seen[name]
+        if old_entry is not None:
+            yield name, old_entry, old_value, new_entry, new_value
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", default="BENCH_engine.json")
+    ap.add_argument("--metric", default="interactions_per_sec")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="regression fraction that fails the run "
+                         "(default 0.25 = 25%% slower)")
+    ap.add_argument("--suite", default=None,
+                    help="only compare history entries of this suite")
+    args = ap.parse_args()
+
+    history = load_history(args.file)
+    rows = list(latest_two_per_record(history, args.metric, args.suite))
+    if not rows:
+        print("no record appears in two history entries yet; nothing to diff")
+        return 0
+
+    regressions = []
+    sha = lambda e: e.get("git_sha", "unknown")[:12]
+    print(f"{args.file}: {args.metric}, newest vs previous history entry")
+    print(f"{'record':<36} {'previous':>12} {'latest':>12} {'delta':>8}")
+    for name, old_e, old_v, new_e, new_v in rows:
+        delta = (new_v - old_v) / old_v
+        flag = ""
+        if delta < -args.threshold:
+            flag = "  <-- regression"
+            regressions.append((name, delta))
+        print(f"{name:<36} {old_v:>12.4g} {new_v:>12.4g} {delta:>+7.1%}{flag}")
+    first_old = rows[0][1]
+    first_new = rows[0][3]
+    print(f"previous = {sha(first_old)} @ {first_old.get('timestamp', 0)}, "
+          f"latest = {sha(first_new)} @ {first_new.get('timestamp', 0)}")
+
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(f"{len(regressions)} record(s) regressed beyond "
+              f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
