@@ -1,0 +1,242 @@
+// popprotod load generator (ISSUE 8): requests/sec through the full daemon
+// stack — TCP loopback, line framing, worker dispatch, bucket locking —
+// measured with concurrent clients hammering live buckets.
+//
+// Each configuration starts a fresh in-process Server on an ephemeral
+// loopback port, pre-creates `buckets` count-backend buckets, then runs
+// `clients` blocking client threads for a fixed wall-clock window. Every
+// client owns one connection and cycles a step/observe/run request mix
+// against its assigned bucket (clients % buckets, so the c64_b16 shape has
+// four clients contending per bucket mutex). The measurement is completed
+// request/response pairs per second; any ERROR reply fails the bench.
+//
+// Records append to BENCH_engine.json (POPPROTO_BENCH_OUT overrides) as the
+// "bench_load" suite: popprotod_rps_c<clients>_b<buckets> with
+// requests/clients/buckets/workers and the hardware_threads /
+// degraded_parallelism honesty stamps (support/thread_pool.hpp).
+//
+//   bench_load [--smoke]   # --smoke: CI-sized windows, same record names
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+#include "support/bench_io.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using popproto::BenchRecord;
+using Clock = std::chrono::steady_clock;
+
+/// Minimal blocking line-protocol client (one connection, one thread).
+class LineClient {
+ public:
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_line(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t k = ::write(fd_, out.data() + off, out.size() - off);
+      if (k <= 0) return false;
+      off += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  /// One response line, newline stripped; false on EOF / error.
+  bool read_line(std::string& line) {
+    for (;;) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t k = ::read(fd_, chunk, sizeof(chunk));
+      if (k <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(k));
+    }
+  }
+
+  /// Request/response round trip; true iff the reply is a non-ERROR line.
+  bool roundtrip(const std::string& line, std::string& reply) {
+    return send_line(line) && read_line(reply) && reply.rfind("ERROR", 0) != 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct LoadConfig {
+  unsigned clients;
+  unsigned buckets;
+};
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+};
+
+std::string bucket_name(unsigned j) { return "load" + std::to_string(j); }
+
+/// One client thread: cycle step/observe/run against one bucket until the
+/// deadline. Counts completed round trips; any ERROR reply counts as an
+/// error and stops the client (the bench then fails loudly).
+void client_loop(std::uint16_t port, unsigned id, unsigned buckets,
+                 Clock::time_point deadline, std::atomic<std::uint64_t>& done,
+                 std::atomic<std::uint64_t>& errors) {
+  LineClient c;
+  if (!c.connect_to(port)) {
+    errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::string bkt = bucket_name(id % buckets);
+  const std::string reqs[3] = {
+      "step " + bkt + " 8",
+      "observe " + bkt + " BA",
+      "run " + bkt + " 0.25",
+  };
+  std::string reply;
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; Clock::now() < deadline; ++i) {
+    if (!c.roundtrip(reqs[i % 3], reply)) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    ++n;
+  }
+  done.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Run one configuration against a fresh server; returns the measurement.
+LoadResult run_config(const LoadConfig& cfg, double seconds) {
+  popproto::Server::Options opt;
+  popproto::Server server(opt);
+  if (!server.start()) {
+    std::fprintf(stderr, "bench_load: server failed to start\n");
+    return {};
+  }
+  LoadResult res;
+  {
+    LineClient admin;
+    if (!admin.connect_to(server.port())) {
+      std::fprintf(stderr, "bench_load: admin connect failed\n");
+      server.stop();
+      return {};
+    }
+    std::string reply;
+    for (unsigned j = 0; j < cfg.buckets; ++j) {
+      const std::string cmd = "create " + bucket_name(j) +
+                              " count approx_majority 65536 " +
+                              std::to_string(1000 + j);
+      if (!admin.roundtrip(cmd, reply)) {
+        std::fprintf(stderr, "bench_load: %s -> %s\n", cmd.c_str(),
+                     reply.c_str());
+        server.stop();
+        return {};
+      }
+    }
+  }
+
+  std::atomic<std::uint64_t> done{0}, errors{0};
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6));
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.clients);
+  for (unsigned id = 0; id < cfg.clients; ++id)
+    threads.emplace_back(client_loop, server.port(), id, cfg.buckets, deadline,
+                         std::ref(done), std::ref(errors));
+  for (auto& t : threads) t.join();
+  res.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  res.requests = done.load();
+  res.errors = errors.load();
+  server.stop();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const double seconds = smoke ? 0.3 : 2.0;
+  const LoadConfig configs[] = {{4, 4}, {16, 16}, {64, 16}};
+  const unsigned hw = popproto::probe_hardware_threads();
+
+  std::vector<BenchRecord> records;
+  bool failed = false;
+  for (const LoadConfig& cfg : configs) {
+    const LoadResult r = run_config(cfg, seconds);
+    const double rps = r.wall_seconds > 0 ? static_cast<double>(r.requests) /
+                                                r.wall_seconds
+                                          : 0.0;
+    BenchRecord rec;
+    rec.name = "popprotod_rps_c" + std::to_string(cfg.clients) + "_b" +
+               std::to_string(cfg.buckets);
+    rec.wall_seconds = r.wall_seconds;
+    rec.extra = {
+        {"requests_per_sec", rps},
+        {"requests", static_cast<double>(r.requests)},
+        {"errors", static_cast<double>(r.errors)},
+        {"clients", static_cast<double>(cfg.clients)},
+        {"buckets", static_cast<double>(cfg.buckets)},
+        {"hardware_threads", static_cast<double>(hw)},
+        // Clients, the IO thread, and the worker pool all share this host;
+        // a shape whose client threads alone oversubscribe it is degraded.
+        {"degraded_parallelism", cfg.clients + 1 > hw ? 1.0 : 0.0},
+    };
+    records.push_back(rec);
+    std::printf("%-24s %8.2f req/s  (%llu requests, %llu errors, %.2fs)\n",
+                rec.name.c_str(), rps,
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.errors), r.wall_seconds);
+    if (r.errors > 0 || r.requests == 0) failed = true;
+  }
+
+  const std::string out = popproto::bench_json_path("BENCH_engine.json");
+  popproto::write_bench_json(out, "bench_load", records);
+  std::printf("wrote %s\n", out.c_str());
+  if (failed) {
+    std::fprintf(stderr, "bench_load: errors or empty measurement\n");
+    return 1;
+  }
+  return 0;
+}

@@ -276,7 +276,9 @@ std::optional<double> Engine::run_until(
     return rounds();
   }
   while (rounds() < max_rounds) {
-    run_rounds(check_interval);
+    // Clamped like SimBackend::run_until: the final check lands on the
+    // max_rounds boundary rather than overshooting by a whole interval.
+    run_rounds(std::min(check_interval, max_rounds - rounds()));
     if (predicate(pop_)) {
       if (trace_) trace_->push(EventKind::kConvergenceDetected, rounds());
       return rounds();

@@ -54,7 +54,9 @@ class Engine final : public SimBackend {
   /// time quantized UP to the next multiple of `check_interval` (plus at
   /// most one interaction of scheduler overshoot). It is not the exact
   /// first instant the predicate became true; shrink `check_interval` when
-  /// finer resolution is needed. Returns nullopt on timeout.
+  /// finer resolution is needed. Returns nullopt on timeout. Edge cases
+  /// (initial check, absolute horizon, clamped final interval) follow the
+  /// contract documented on SimBackend::run_until.
   std::optional<double> run_until(
       const std::function<bool(const AgentPopulation&)>& predicate,
       double max_rounds, double check_interval = 1.0);

@@ -1,5 +1,7 @@
 #include "core/sim_backend.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace popproto {
@@ -14,7 +16,11 @@ std::optional<double> SimBackend::run_until(const Predicate& predicate,
     return rounds();
   }
   while (rounds() < max_rounds) {
-    run_rounds(check_interval);
+    // Clamp the last interval to the horizon: the final predicate check
+    // lands on the max_rounds boundary instead of overshooting by up to a
+    // whole check_interval (which also mis-reported convergence times past
+    // the caller's budget when check_interval > max_rounds).
+    run_rounds(std::min(check_interval, max_rounds - rounds()));
     if (predicate(*this)) {
       if (EventTrace* t = event_trace())
         t->push(EventKind::kConvergenceDetected, rounds());

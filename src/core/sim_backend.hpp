@@ -72,6 +72,19 @@ class SimBackend {
   /// first *check* at which the predicate held, quantized up to the check
   /// grid (backends whose step spans a whole round check at least once per
   /// round). Pushes kConvergenceDetected to the attached event trace.
+  ///
+  /// Edge contract (pinned by engine_test RunUntil* regressions):
+  ///  * the predicate is always evaluated once up front — an
+  ///    already-satisfied predicate returns the current rounds() without
+  ///    running, even with max_rounds = 0;
+  ///  * `max_rounds` is an absolute horizon in parallel time, not a
+  ///    duration: a backend already at or past it gets the initial check
+  ///    and nothing else;
+  ///  * the last interval is clamped to `max_rounds - rounds()`, so the
+  ///    final check lands on the horizon (check_interval > max_rounds
+  ///    still checks, exactly once, at max_rounds) and a timed-out backend
+  ///    is left within one activation of max_rounds, never a whole
+  ///    check_interval past it.
   using Predicate = std::function<bool(const SimBackend&)>;
   std::optional<double> run_until(const Predicate& predicate,
                                   double max_rounds,

@@ -1,0 +1,68 @@
+#include "server/bucket.hpp"
+
+#include <algorithm>
+
+namespace popproto {
+
+bool valid_bucket_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  if (name.front() == '-') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+BucketRegistry::CreateResult BucketRegistry::add(
+    const std::shared_ptr<Bucket>& bucket) {
+  if (!valid_bucket_name(bucket->name)) return CreateResult::kBadName;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buckets_)
+    if (b->name == bucket->name) return CreateResult::kExists;
+  if (buckets_.size() >= max_buckets_) return CreateResult::kFull;
+  buckets_.push_back(bucket);
+  return CreateResult::kCreated;
+}
+
+std::shared_ptr<Bucket> BucketRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buckets_)
+    if (b->name == name) return b;
+  return nullptr;
+}
+
+bool BucketRegistry::drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    if ((*it)->name == name) {
+      buckets_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> BucketRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(buckets_.size());
+    for (const auto& b : buckets_) out.push_back(b->name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::shared_ptr<Bucket>> BucketRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::size_t BucketRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace popproto

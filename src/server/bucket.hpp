@@ -1,0 +1,92 @@
+// popprotod buckets: named live simulations behind per-bucket locks.
+//
+// A Bucket is one SimBackend instance (plus the Protocol/VarSpace that keep
+// it alive, and optionally an attached FaultInjector) owned by the daemon.
+// Command execution takes the bucket's mutex for the whole command, so a
+// bucket's trajectory is a serial history even when many connections hammer
+// it; different buckets run fully in parallel on the worker pool. The
+// memcached-bucket_engine analogy is deliberate: the registry multiplexes
+// many isolated engines behind one protocol surface.
+//
+// Lock discipline: the registry's map mutex is a leaf on the
+// registry-then-bucket axis — no code path acquires a bucket mutex while
+// holding it (drop acquires them in the bucket-then-registry order, which
+// is safe because the opposite nesting never occurs), so there is no
+// lock-order cycle. Per-bucket request tallies are atomics,
+// letting the global `stats` command aggregate without touching bucket
+// locks (a long `run` must not block the stats surface).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sim_backend.hpp"
+#include "faults/injector.hpp"
+#include "server/protocol_registry.hpp"
+
+namespace popproto {
+
+struct Bucket {
+  std::string name;
+  std::string backend_kind;    // "agent" | "count" | "batch" | "count_shard"
+  std::string protocol_kind;   // registry name, e.g. "phase_clock"
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0;
+
+  /// Serializes every command that touches the simulation state.
+  std::mutex mu;
+  std::unique_ptr<ProtocolInstance> instance;
+  std::unique_ptr<SimBackend> engine;
+  /// Active fault schedule (replaced wholesale by each `inject`).
+  std::unique_ptr<FaultInjector> injector;
+
+  // -- Request tallies (lock-free; global stats reads them) -----------------
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  /// Simulation mutated since the last snapshot/restore (drives the
+  /// graceful-shutdown auto-snapshot).
+  std::atomic<bool> dirty{false};
+};
+
+/// True iff `name` is a legal bucket name: 1..64 chars from
+/// [A-Za-z0-9_.-], not starting with '-'.
+bool valid_bucket_name(const std::string& name);
+
+class BucketRegistry {
+ public:
+  explicit BucketRegistry(std::size_t max_buckets = 256)
+      : max_buckets_(max_buckets) {}
+
+  enum class CreateResult { kCreated, kExists, kFull, kBadName };
+
+  /// Publish a fully built bucket (engine fields already filled, so no
+  /// reader can ever observe a half-initialized bucket). On a name
+  /// collision the caller's instance is simply discarded — the loser of a
+  /// create race wasted one engine construction, nothing more.
+  CreateResult add(const std::shared_ptr<Bucket>& bucket);
+
+  /// nullptr when absent.
+  std::shared_ptr<Bucket> find(const std::string& name) const;
+
+  /// Remove the bucket from the map (in-flight holders keep it alive).
+  bool drop(const std::string& name);
+
+  /// Snapshot of bucket names, sorted.
+  std::vector<std::string> names() const;
+  /// Snapshot of live buckets (for stats/shutdown sweeps).
+  std::vector<std::shared_ptr<Bucket>> all() const;
+
+  std::size_t size() const;
+  std::size_t max_buckets() const { return max_buckets_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_buckets_;
+  std::vector<std::shared_ptr<Bucket>> buckets_;  // small-N linear map
+};
+
+}  // namespace popproto

@@ -1,0 +1,356 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/checkpoint.hpp"
+#include "support/serialize.hpp"
+
+namespace popproto {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::string in;   // IO-thread-only: unparsed request bytes
+  std::string out;  // io_mu_: response bytes awaiting flush
+  bool busy = false;     // io_mu_: a command is executing on a worker
+  bool closing = false;  // io_mu_: close once out drains (and not busy)
+};
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      buckets_(options_.max_buckets),
+      executor_(buckets_, stats_, options_.limits) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("popprotod: socket");
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "popprotod: bad listen address %s\n",
+                 options_.host.c_str());
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd_, 128) != 0) {
+    std::perror("popprotod: bind/listen");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  int pipefd[2];
+  if (pipe(pipefd) != 0 || !set_nonblocking(pipefd[0]) ||
+      !set_nonblocking(pipefd[1]) || !set_nonblocking(listen_fd_)) {
+    std::perror("popprotod: pipe");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+
+  workers_ = std::make_unique<TaskQueue>(options_.workers);
+  shutting_down_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  joined_ = false;
+  io_thread_ = std::thread([this] { io_loop(); });
+  return true;
+}
+
+void Server::request_shutdown() {
+  shutting_down_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::wake() {
+  if (wake_w_ >= 0) {
+    const char b = 'w';
+    [[maybe_unused]] const ssize_t r = write(wake_w_, &b, 1);
+  }
+}
+
+void Server::join() {
+  if (joined_) return;
+  if (io_thread_.joinable()) io_thread_.join();
+  joined_ = true;
+}
+
+void Server::stop() {
+  if (!joined_) {
+    request_shutdown();
+    join();
+  }
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    if (!set_nonblocking(fd)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      conns_.push_back(conn);
+    }
+    stats_.connections_total.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_open.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::close_connection(const std::shared_ptr<Connection>& conn) {
+  // io_mu_ held by the caller.
+  if (conn->fd >= 0) {
+    close(conn->fd);
+    conn->fd = -1;
+    stats_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  }
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+}
+
+void Server::dispatch(const std::shared_ptr<Connection>& conn,
+                      std::string line) {
+  const bool submitted = workers_->submit([this, conn, line = std::move(line)] {
+    CommandResult result = executor_.execute(line);
+    bool shutdown = false;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      conn->busy = false;
+      if (conn->fd >= 0) {
+        conn->out += result.text;
+        if (result.close_connection) conn->closing = true;
+      }
+      shutdown = result.shutdown_server;
+    }
+    if (shutdown) shutting_down_.store(true, std::memory_order_release);
+    wake();
+  });
+  if (!submitted) {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    conn->busy = false;
+    conn->out += "ERROR server shutting down\n";
+    conn->closing = true;
+  }
+}
+
+bool Server::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = recv(conn->fd, buf, sizeof buf, 0);
+    if (got > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(got));
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
+                                std::memory_order_relaxed);
+      if (static_cast<std::size_t>(got) < sizeof buf) break;
+      continue;
+    }
+    if (got == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(io_mu_);
+  frame_next_locked(conn);
+  return true;
+}
+
+// Frame and dispatch at most one command (one in flight per connection).
+// Pipelined requests stay buffered in conn->in; the IO loop re-frames after
+// every completion. io_mu_ held by the caller.
+void Server::frame_next_locked(const std::shared_ptr<Connection>& conn) {
+  if (conn->busy || conn->closing || conn->fd < 0) return;
+  const std::size_t nl = conn->in.find('\n');
+  if (nl == std::string::npos) {
+    if (conn->in.size() > options_.max_line) {
+      conn->out += "ERROR line too long\n";
+      conn->closing = true;
+      conn->in.clear();
+    }
+    return;
+  }
+  std::string line = conn->in.substr(0, nl);
+  conn->in.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.size() > options_.max_line) {
+    conn->out += "ERROR line too long\n";
+    conn->closing = true;
+    return;
+  }
+  conn->busy = true;
+  dispatch(conn, std::move(line));
+}
+
+bool Server::handle_writable(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  while (!conn->out.empty()) {
+    const ssize_t sent =
+        send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(sent),
+                                 std::memory_order_relaxed);
+      conn->out.erase(0, static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Server::io_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  bool listener_open = true;
+
+  for (;;) {
+    const bool draining = shutting_down_.load(std::memory_order_acquire);
+    if (draining && listener_open) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+    }
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_r_, POLLIN, 0});
+    if (listener_open) pfds.push_back({listen_fd_, POLLIN, 0});
+
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      // Sweep closable connections first: flushed + not busy + (closing or
+      // draining).
+      for (std::size_t i = 0; i < conns_.size();) {
+        auto& conn = conns_[i];
+        if (!conn->busy && conn->out.empty() && (conn->closing || draining)) {
+          close_connection(conn);  // erases conns_[i]
+          continue;
+        }
+        ++i;
+      }
+      if (draining && conns_.empty()) break;
+      for (const auto& conn : conns_) {
+        // Dispatch a buffered pipelined request as soon as the previous
+        // command's response came back.
+        if (!draining) frame_next_locked(conn);
+        short events = 0;
+        if (!conn->busy && !conn->closing && !draining) events |= POLLIN;
+        if (!conn->out.empty()) events |= POLLOUT;
+        // A busy connection with nothing to write is still polled (events
+        // 0) so hangups surface once the command completes.
+        pfds.push_back({conn->fd, events, 0});
+        polled.push_back(conn);
+      }
+    }
+
+    poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+
+    if (pfds[0].revents & POLLIN) {
+      char drain_buf[256];
+      while (read(wake_r_, drain_buf, sizeof drain_buf) > 0) {
+      }
+    }
+    std::size_t base = 1;
+    if (listener_open) {
+      if (pfds[1].revents & POLLIN) accept_new();
+      base = 2;
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const auto& conn = polled[i];
+      const short revents = pfds[base + i].revents;
+      if (revents == 0) continue;
+      bool alive = true;
+      if (revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLOUT)) alive = handle_writable(conn);
+      if (alive && (revents & (POLLIN | POLLHUP)))
+        alive = handle_readable(conn);
+      if (!alive) {
+        std::lock_guard<std::mutex> lock(io_mu_);
+        if (conn->busy) {
+          // A worker still owns this command; defer the close until its
+          // completion drains (the sweep above will reap it).
+          conn->closing = true;
+          if (conn->fd >= 0) {
+            close(conn->fd);
+            conn->fd = -1;
+            stats_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+          }
+          conn->out.clear();
+        } else {
+          close_connection(conn);
+        }
+      }
+    }
+  }
+
+  quiesce_and_snapshot();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::quiesce_and_snapshot() {
+  // Every connection is gone and no command is queued (one in flight per
+  // connection), so draining the pool leaves the buckets quiescent.
+  workers_->shutdown();
+  if (wake_r_ >= 0) close(wake_r_);
+  if (wake_w_ >= 0) close(wake_w_);
+  wake_r_ = wake_w_ = -1;
+
+  if (options_.snapshot_dir.empty()) return;
+  for (const auto& bucket : buckets_.all()) {
+    if (!bucket->dirty.load(std::memory_order_relaxed)) continue;
+    std::lock_guard<std::mutex> lock(bucket->mu);
+    const std::string path =
+        options_.snapshot_dir + "/" + bucket->name + ".ckpt";
+    try {
+      AutoCheckpoint ckpt(*bucket->engine, {.path = path},
+                          bucket->injector.get());
+      ckpt.write_now();
+      bucket->dirty.store(false, std::memory_order_relaxed);
+    } catch (const SnapshotError& e) {
+      std::fprintf(stderr, "popprotod: shutdown snapshot of '%s' failed: %s\n",
+                   bucket->name.c_str(), e.what());
+    }
+  }
+}
+
+}  // namespace popproto

@@ -49,4 +49,58 @@ void ThreadPool::parallel_for(std::size_t count,
   for (auto& t : extra) t.join();
 }
 
+TaskQueue::TaskQueue(unsigned threads) {
+  if (threads == 0) threads = probe_hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskQueue::~TaskQueue() { shutdown(); }
+
+bool TaskQueue::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+std::size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + running_;
+}
+
+void TaskQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+  }
+}
+
 }  // namespace popproto

@@ -8,8 +8,13 @@
 // slots, as run_sweep_parallel does).
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace popproto {
 
@@ -38,6 +43,43 @@ class ThreadPool {
 
  private:
   unsigned threads_;
+};
+
+/// Fixed pool of long-lived worker threads draining a FIFO job queue — the
+/// serving-side counterpart of ThreadPool's fork-join parallel_for. Jobs
+/// must not throw; they run in submission order but complete concurrently
+/// across workers (per-key ordering, where needed, is the submitter's job —
+/// popprotod keeps at most one command in flight per connection).
+class TaskQueue {
+ public:
+  /// `threads` = 0 picks probe_hardware_threads().
+  explicit TaskQueue(unsigned threads = 0);
+  /// Drains the queue (shutdown()) before joining the workers.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueue a job. Returns false (job dropped) after shutdown() started.
+  bool submit(std::function<void()> job);
+
+  /// Stop accepting jobs, run everything already queued, join the workers.
+  /// Idempotent; called by the destructor when not called explicitly.
+  void shutdown();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+  /// Jobs currently queued or running (approximate between lock windows).
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
 };
 
 }  // namespace popproto

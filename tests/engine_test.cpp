@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/count_engine.hpp"
 #include "core/engine.hpp"
 
 namespace popproto {
@@ -208,6 +209,122 @@ TEST(Engine, RunUntilTimesOut) {
   const auto t = eng.run_until(
       [&](const AgentPopulation& pop) { return pop.count_var(i) > 0; }, 10.0);
   EXPECT_FALSE(t.has_value());
+}
+
+// -- run_until edge contract (see SimBackend::run_until doc) -----------------
+// Regressions pinning the clamped-horizon semantics: max_rounds is an
+// absolute budget, never overshot by a whole check_interval, and the
+// predicate is always evaluated at least once.
+
+TEST(Engine, RunUntilIntervalLargerThanHorizonStillChecks) {
+  // check_interval > max_rounds used to run a full interval past the
+  // horizon; the final interval is now clamped so the (single) check lands
+  // exactly on max_rounds.
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  std::vector<State> init(100, 0);
+  init[0] = var_bit(i);
+  Engine eng(p, std::move(init), 11);
+  const auto t = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) >= 2; },
+      /*max_rounds=*/10.0, /*check_interval=*/100.0);
+  ASSERT_TRUE(t.has_value());  // spread to 2 agents happens in O(1) rounds
+  EXPECT_LE(*t, 10.0 + 0.05);  // checked at the horizon, not at 100 rounds
+  EXPECT_LE(eng.rounds(), 10.0 + 0.05);
+}
+
+TEST(Engine, RunUntilTimeoutStopsAtHorizonNotInterval) {
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  Engine eng(p, std::vector<State>(100, 0), 3);  // no infected agent: timeout
+  const auto t = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) > 0; },
+      /*max_rounds=*/10.0, /*check_interval=*/100.0);
+  EXPECT_FALSE(t.has_value());
+  // Left within one activation (1/n rounds) of the horizon, not 100 rounds.
+  EXPECT_GE(eng.rounds(), 10.0);
+  EXPECT_LE(eng.rounds(), 10.0 + 0.05);
+}
+
+TEST(Engine, RunUntilZeroHorizonIsInitialCheckOnly) {
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  std::vector<State> init(100, 0);
+  init[0] = var_bit(i);
+  Engine eng(p, std::move(init), 5);
+  // Unsatisfied predicate + max_rounds = 0: no time passes, clean timeout.
+  const auto miss = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) >= 2; }, 0.0);
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_DOUBLE_EQ(eng.rounds(), 0.0);
+  EXPECT_EQ(eng.interactions(), 0u);
+  // Already-satisfied predicate succeeds even with a zero budget.
+  const auto hit = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) >= 1; }, 0.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.0);
+  EXPECT_EQ(eng.interactions(), 0u);
+}
+
+TEST(Engine, RunUntilAlreadySatisfiedReturnsCurrentTime) {
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  std::vector<State> init(100, 0);
+  init[0] = var_bit(i);
+  Engine eng(p, std::move(init), 5);
+  eng.run_rounds(3.0);
+  const double before = eng.rounds();
+  const std::uint64_t steps_before = eng.interactions();
+  const auto t = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) >= 1; },
+      1000.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, before);            // current time, not quantized up
+  EXPECT_EQ(eng.interactions(), steps_before);  // no simulation ran
+  // An engine already past the horizon still gets its initial check.
+  const auto late = eng.run_until(
+      [&](const AgentPopulation& pop) { return pop.count_var(i) >= 1; }, 1.0);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(*late, before);
+}
+
+TEST(SimBackendContract, RunUntilEdgeCasesAcrossBackends) {
+  // The same edge contract through the backend-generic overload, for both
+  // the agent and count substrates.
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  std::vector<State> init(100, 0);
+  init[0] = var_bit(i);
+  Engine agent(p, std::move(init), 13);
+  CountEngine count(p, {{var_bit(i), 1}, {State{0}, 99}}, 13);
+  const BoolExpr infected = BoolExpr::var(i);
+  for (SimBackend* b : {static_cast<SimBackend*>(&agent),
+                        static_cast<SimBackend*>(&count)}) {
+    SCOPED_TRACE(b->backend_name());
+    // Already satisfied at a zero horizon: initial check wins.
+    const auto hit = b->run_until(
+        [&](const SimBackend& s) { return s.count_matching(infected) >= 1; },
+        0.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(*hit, 0.0);
+    // check_interval > max_rounds: converges within the horizon...
+    const auto t = b->run_until(
+        [&](const SimBackend& s) { return s.count_matching(infected) >= 2; },
+        /*max_rounds=*/20.0, /*check_interval=*/500.0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_LE(*t, 20.0 + 0.05);
+    // ...and a timeout never overshoots it by a whole interval.
+    const auto miss = b->run_until(
+        [&](const SimBackend& s) { return s.count_matching(infected) > 200; },
+        /*max_rounds=*/b->rounds() + 5.0, /*check_interval=*/500.0);
+    EXPECT_FALSE(miss.has_value());
+    EXPECT_LE(b->rounds(), t.value_or(0.0) + 5.0 + 1.0);
+  }
 }
 
 TEST(SchedulerTest, MatchingIsDisjointAndNearPerfect) {

@@ -7,8 +7,13 @@ lines up, per record name, the latest measurement against the most recent
 earlier one and prints the delta, so a perf regression shows up as a signed
 percentage next to the commit that introduced it.
 
-Exit status is nonzero when any record's chosen metric dropped by more than
-``--threshold`` (fraction, default 0.25). CI runs this warn-only
+Exit status is nonzero when any record's chosen metric moved in the bad
+direction by more than ``--threshold`` (fraction, default 0.25). Direction
+is metric-dependent: throughput metrics (interactions_per_sec, ...) regress
+when they DROP; cost metrics (save_ms, load_ms, snapshot_bytes,
+wall_seconds, ...) regress when they RISE. Known cost metrics are
+recognized by name; ``--lower-is-better`` forces the cost interpretation
+for metrics the table doesn't know. CI runs this warn-only
 (continue-on-error): hosted-runner noise routinely exceeds any honest
 threshold, so the signal is the printed table, not the gate. For local
 before/after runs on quiet hardware the exit code is trustworthy.
@@ -16,11 +21,24 @@ before/after runs on quiet hardware the exit code is trustworthy.
 Usage:
   tools/bench_diff.py [BENCH_engine.json]
       [--metric interactions_per_sec] [--threshold 0.25] [--suite NAME]
+      [--lower-is-better]
 """
 
 import argparse
 import json
 import sys
+
+# Metrics where a smaller number is the better one. Deltas for these flip
+# sign in the regression test: +30% save_ms is a regression, -30% is an
+# improvement. Anything not listed is treated as higher-is-better unless
+# --lower-is-better says otherwise.
+LOWER_IS_BETTER = {
+    "save_ms",
+    "load_ms",
+    "bytes",
+    "snapshot_bytes",
+    "wall_seconds",
+}
 
 
 def load_history(path):
@@ -70,7 +88,12 @@ def main():
                          "(default 0.25 = 25%% slower)")
     ap.add_argument("--suite", default=None,
                     help="only compare history entries of this suite")
+    ap.add_argument("--lower-is-better", action="store_true",
+                    help="treat the metric as a cost (regression = increase) "
+                         "even if its name isn't in the built-in cost table")
     args = ap.parse_args()
+
+    lower_better = args.lower_is_better or args.metric in LOWER_IS_BETTER
 
     history = load_history(args.file)
     rows = list(latest_two_per_record(history, args.metric, args.suite))
@@ -80,22 +103,37 @@ def main():
 
     regressions = []
     sha = lambda e: e.get("git_sha", "unknown")[:12]
-    print(f"{args.file}: {args.metric}, newest vs previous history entry")
-    print(f"{'record':<36} {'previous':>12} {'latest':>12} {'delta':>8}")
+    direction = "lower is better" if lower_better else "higher is better"
+    print(f"{args.file}: {args.metric} ({direction}), "
+          f"newest vs previous history entry")
+    print(f"{'record':<36} {'previous':>12} {'latest':>12} {'delta':>8}"
+          f"  {'previous..latest'}")
+    pairs = set()
     for name, old_e, old_v, new_e, new_v in rows:
         delta = (new_v - old_v) / old_v
-        flag = ""
-        if delta < -args.threshold:
-            flag = "  <-- regression"
+        # A regression is movement in the bad direction: a drop for
+        # throughput-style metrics, a rise for cost-style ones.
+        bad = delta > args.threshold if lower_better else \
+            delta < -args.threshold
+        flag = "  <-- regression" if bad else ""
+        if bad:
             regressions.append((name, delta))
-        print(f"{name:<36} {old_v:>12.4g} {new_v:>12.4g} {delta:>+7.1%}{flag}")
-    first_old = rows[0][1]
-    first_new = rows[0][3]
-    print(f"previous = {sha(first_old)} @ {first_old.get('timestamp', 0)}, "
-          f"latest = {sha(first_new)} @ {first_new.get('timestamp', 0)}")
+        pairs.add((sha(old_e), sha(new_e)))
+        print(f"{name:<36} {old_v:>12.4g} {new_v:>12.4g} {delta:>+7.1%}"
+              f"  {sha(old_e)}..{sha(new_e)}{flag}")
+    # Each record pairs its own two most recent appearances, which need not
+    # come from the same history entries across records — so the footer only
+    # names a single previous/latest pair when there really is just one.
+    if len(pairs) == 1:
+        old_sha, new_sha = next(iter(pairs))
+        print(f"previous = {old_sha}, latest = {new_sha}")
+    else:
+        print(f"{len(pairs)} distinct previous..latest entry pairs "
+              f"across records (shown per row)")
 
     if regressions:
-        worst = min(regressions, key=lambda r: r[1])
+        pick = max if lower_better else min
+        worst = pick(regressions, key=lambda r: r[1])
         print(f"{len(regressions)} record(s) regressed beyond "
               f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
               file=sys.stderr)

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/bench_diff.py (plain asserts, no pytest).
+
+Run as ``bench_diff_test.py <path-to-bench_diff.py>`` (the ctest
+registration in tools/CMakeLists.txt passes the source-tree path). Covers
+the direction-aware regression test — a higher-is-better metric must flag
+drops, a lower-is-better metric (save_ms et al.) must flag increases and
+must NOT flag improvements — and the per-row previous/latest sha footer.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def write_history(path, entries):
+    """entries: list of (git_sha, suite, records) appended oldest-first."""
+    history = [
+        {"git_sha": sha, "timestamp": 1000 + i, "suite": suite,
+         "records": records}
+        for i, (sha, suite, records) in enumerate(entries)
+    ]
+    with open(path, "w") as f:
+        json.dump({"history": history, "records": entries[-1][2]}, f)
+
+
+def run_diff(bench_diff, path, *extra):
+    proc = subprocess.run(
+        [sys.executable, bench_diff, path, *extra],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: bench_diff_test.py <path-to-bench_diff.py>",
+              file=sys.stderr)
+        return 2
+    bench_diff = os.path.abspath(sys.argv[1])
+    assert os.path.exists(bench_diff), bench_diff
+    failures = []
+
+    def check(label, cond, detail=""):
+        if cond:
+            print(f"ok   {label}")
+        else:
+            print(f"FAIL {label}: {detail}")
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "BENCH_engine.json")
+
+        # --- higher-is-better (throughput): a 50% drop is a regression, a
+        # 50% rise is not.
+        write_history(path, [
+            ("aaaa11112222", "bench_kernel",
+             [{"name": "kernel_fast", "interactions_per_sec": 1000.0},
+              {"name": "kernel_slow", "interactions_per_sec": 1000.0}]),
+            ("bbbb33334444", "bench_kernel",
+             [{"name": "kernel_fast", "interactions_per_sec": 1500.0},
+              {"name": "kernel_slow", "interactions_per_sec": 500.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path)
+        check("throughput drop flags regression", rc == 1, f"rc={rc}\n{out}")
+        check("regressed record named", "kernel_slow" in err, err)
+        check("improved record not flagged",
+              "kernel_fast" not in err and
+              not any("kernel_fast" in line and "regression" in line
+                      for line in out.splitlines()), out)
+
+        # --- lower-is-better (cost): the acceptance case — a synthetic
+        # save_ms increase must flag as a regression without any flag.
+        write_history(path, [
+            ("aaaa11112222", "bench_persist",
+             [{"name": "persist_agent", "save_ms": 10.0, "load_ms": 8.0}]),
+            ("bbbb33334444", "bench_persist",
+             [{"name": "persist_agent", "save_ms": 20.0, "load_ms": 8.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path, "--metric", "save_ms")
+        check("save_ms increase flags regression", rc == 1,
+              f"rc={rc}\n{out}\n{err}")
+        check("save_ms direction announced", "lower is better" in out, out)
+
+        # A save_ms DECREASE (improvement) must pass — this was the original
+        # bug's mirror image: with drop-only logic an improvement in a cost
+        # metric would have been the only thing ever flagged.
+        write_history(path, [
+            ("aaaa11112222", "bench_persist",
+             [{"name": "persist_agent", "save_ms": 20.0}]),
+            ("bbbb33334444", "bench_persist",
+             [{"name": "persist_agent", "save_ms": 10.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path, "--metric", "save_ms")
+        check("save_ms decrease passes", rc == 0, f"rc={rc}\n{out}\n{err}")
+
+        # --- --lower-is-better forces cost semantics for unknown metrics.
+        write_history(path, [
+            ("aaaa11112222", "bench_x",
+             [{"name": "r", "queue_depth": 10.0}]),
+            ("bbbb33334444", "bench_x",
+             [{"name": "r", "queue_depth": 20.0}]),
+        ])
+        rc, _, _ = run_diff(bench_diff, path, "--metric", "queue_depth")
+        check("unknown metric defaults higher-is-better", rc == 0, f"rc={rc}")
+        rc, _, _ = run_diff(bench_diff, path, "--metric", "queue_depth",
+                            "--lower-is-better")
+        check("--lower-is-better flips unknown metric", rc == 1, f"rc={rc}")
+
+        # --- footer: records whose latest pairs come from different entry
+        # pairs must not be summarized by rows[0]'s shas.
+        write_history(path, [
+            ("sha000000001", "bench_kernel",
+             [{"name": "a", "interactions_per_sec": 100.0},
+              {"name": "b", "interactions_per_sec": 100.0}]),
+            ("sha000000002", "bench_kernel",
+             [{"name": "a", "interactions_per_sec": 100.0}]),
+            ("sha000000003", "bench_kernel",
+             [{"name": "a", "interactions_per_sec": 100.0},
+              {"name": "b", "interactions_per_sec": 100.0}]),
+        ])
+        rc, out, _ = run_diff(bench_diff, path)
+        # a pairs sha2..sha3, b pairs sha1..sha3: per-row shas must be
+        # visible and the footer must not pretend a single global pair.
+        check("multi-pair diff passes", rc == 0, f"rc={rc}\n{out}")
+        check("per-row shas shown",
+              "sha000000002..sha000000003" in out and
+              "sha000000001..sha000000003" in out, out)
+        check("footer reports distinct pairs", "2 distinct" in out, out)
+
+        # Single-pair histories still get the compact footer.
+        write_history(path, [
+            ("sha000000001", "bench_kernel",
+             [{"name": "a", "interactions_per_sec": 100.0}]),
+            ("sha000000002", "bench_kernel",
+             [{"name": "a", "interactions_per_sec": 100.0}]),
+        ])
+        rc, out, _ = run_diff(bench_diff, path)
+        check("single-pair footer", rc == 0 and
+              "previous = sha000000001, latest = sha000000002" in out, out)
+
+    if failures:
+        print(f"{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("all bench_diff checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
