@@ -273,8 +273,18 @@ void FaultInjector::bind(SimBackend& backend) {
   POPPROTO_CHECK_MSG(false, "unknown SimBackend subtype in FaultInjector");
 }
 
+// Every attach starts by detaching whatever a *previous* injector left on
+// the engine: installed hooks capture their injector by raw `this`, so a
+// stale hook surviving an empty-plan re-attach (which installs nothing)
+// would dangle the moment the old injector is destroyed, and a stale bias
+// window would keep skewing the scheduler with no owner. An engine with the
+// hook cleared consumes its RNG stream exactly as a never-hooked engine, so
+// the empty-plan bit-for-bit guarantee is unaffected.
+
 void FaultInjector::attach(Engine& engine) {
   reset_firing_state();
+  engine.set_injection_hook({});
+  engine.set_scheduler_bias(std::nullopt);
   if (plan_.empty()) return;  // zero-overhead no-op guarantee
   bind(engine);
   // Apply the schedule as of the current time: overdue one-shots (e.g.
@@ -285,6 +295,8 @@ void FaultInjector::attach(Engine& engine) {
 
 void FaultInjector::attach(CountEngine& engine) {
   reset_firing_state();
+  engine.set_injection_hook({});
+  engine.set_scheduler_bias(std::nullopt);
   if (plan_.empty()) return;  // zero-overhead no-op guarantee
   bind(engine);
   on_round(engine.rounds(), /*at_boundary=*/false);
@@ -292,6 +304,8 @@ void FaultInjector::attach(CountEngine& engine) {
 
 void FaultInjector::attach(BatchEngine& engine) {
   reset_firing_state();
+  engine.set_injection_hook({});
+  engine.set_scheduler_bias(std::nullopt);
   if (plan_.empty()) return;  // zero-overhead no-op guarantee
   bind(engine);
   on_round(engine.rounds(), /*at_boundary=*/false);
@@ -299,6 +313,8 @@ void FaultInjector::attach(BatchEngine& engine) {
 
 void FaultInjector::attach(CountShardEngine& engine) {
   reset_firing_state();
+  engine.set_injection_hook({});
+  engine.set_scheduler_bias(std::nullopt);
   if (plan_.empty()) return;  // zero-overhead no-op guarantee
   bind(engine);
   on_round(engine.rounds(), /*at_boundary=*/false);
@@ -433,6 +449,12 @@ void FaultInjector::restore(std::istream& in, SimBackend& backend) {
   dropout_p_ = dropout;
   log_ = std::move(log);
 
+  // Attach parity: detach any previous injector's hook/bias before (re)
+  // binding — a stale hook captures its (possibly destroyed) injector by
+  // raw pointer and must never survive a restore that replaces or drops
+  // the schedule.
+  backend.set_injection_hook({});
+  backend.set_scheduler_bias(std::nullopt);
   if (plan_.empty()) return;  // empty plan installs nothing (attach parity)
   bind(backend);
   const auto& events = plan_.events();

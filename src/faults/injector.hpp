@@ -37,7 +37,11 @@ class FaultInjector {
 
   /// Install the plan's hooks on an engine. Re-attaching (to the same or a
   /// fresh engine) resets all firing state, so one injector can drive many
-  /// seeded trials of the same plan.
+  /// seeded trials of the same plan. Attach always detaches first: any
+  /// hook/bias a previously attached injector installed on this engine is
+  /// cleared before the new plan binds (an empty plan therefore leaves the
+  /// engine hook-free), so replacing an engine's injector never leaves a
+  /// dangling hook behind.
   void attach(Engine& engine);
   void attach(CountEngine& engine);
   void attach(BatchEngine& engine);

@@ -1,5 +1,6 @@
 #include "server/command.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -213,6 +214,22 @@ std::string engine_status(const Bucket& bucket) {
 }
 
 }  // namespace
+
+std::string CommandExecutor::resolve_snapshot_path(
+    const std::string& path) const {
+  if (limits_.snapshot_root.empty()) return path;  // trust model: any path
+  if (path[0] == '/')
+    fail("absolute snapshot paths are disabled (snapshot root is set)");
+  // Reject any ".." component; "." and empty components are harmless.
+  std::size_t i = 0;
+  while (i <= path.size()) {
+    const std::size_t j = std::min(path.find('/', i), path.size());
+    if (j - i == 2 && path[i] == '.' && path[i + 1] == '.')
+      fail("snapshot path may not contain '..'");
+    i = j + 1;
+  }
+  return limits_.snapshot_root + "/" + path;
+}
 
 CommandResult CommandExecutor::execute(const std::string& line) {
   stats_.commands_total.fetch_add(1, std::memory_order_relaxed);
@@ -547,7 +564,7 @@ CommandResult CommandExecutor::execute(const std::string& line) {
 
     if (cmd == "snapshot" || cmd == "restore") {
       if (tokens.size() != 3) fail("usage: " + cmd + " <bucket> <path>");
-      const std::string& path = tokens[2];
+      const std::string path = resolve_snapshot_path(tokens[2]);
       std::lock_guard<std::mutex> lock(bucket->mu);
       try {
         if (cmd == "snapshot") {
@@ -565,8 +582,17 @@ CommandResult CommandExecutor::execute(const std::string& line) {
             std::make_unique<FaultInjector>(FaultPlan{}, bucket->seed);
         if (!AutoCheckpoint::load(path, *bucket->engine, injector.get()))
           fail("no checkpoint at '" + path + "'");
-        bucket->injector =
-            injector->plan().empty() ? nullptr : std::move(injector);
+        if (injector->plan().empty()) {
+          // The checkpoint carried no (or an empty) fault schedule, so
+          // FaultInjector::restore never touched the engine: clear any
+          // hook/bias a prior `inject` installed before destroying the
+          // injector those hooks capture by raw pointer.
+          bucket->engine->set_injection_hook({});
+          bucket->engine->set_scheduler_bias(std::nullopt);
+          bucket->injector = nullptr;
+        } else {
+          bucket->injector = std::move(injector);
+        }
         bucket->dirty.store(false, std::memory_order_relaxed);
         return ok(engine_status(*bucket));
       } catch (const SnapshotError& e) {

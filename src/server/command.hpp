@@ -30,6 +30,11 @@
 // <cmp> in {<,<=,==,!=,>=,>}; the count may be `all` (= active_n at check
 // time); omitting the comparison means `>= 1` (existence).
 //
+// snapshot/restore take the path from the (unauthenticated, loopback-only
+// by default) client: by default it is trusted as given, i.e. any file the
+// daemon user can access; set CommandLimits::snapshot_root to confine
+// client paths to one directory.
+//
 // Execution holds the target bucket's mutex for the whole command (see
 // bucket.hpp for the lock discipline) and is thread-safe: the server calls
 // execute() from many worker threads concurrently.
@@ -65,6 +70,13 @@ struct CommandLimits {
   double max_rounds_per_command = 1e6;
   /// Largest `step` batch.
   std::uint64_t max_steps_per_command = std::uint64_t{1} << 20;
+  /// When non-empty, client-supplied snapshot/restore paths are confined to
+  /// this directory: they must be relative, contain no ".." component, and
+  /// are resolved as `<snapshot_root>/<path>`. When empty (the default),
+  /// any path the daemon user can read/write is accepted — acceptable only
+  /// under the loopback trust model (server.hpp Options::host): popprotod
+  /// is unauthenticated, so every client is as trusted as the daemon user.
+  std::string snapshot_root;
 };
 
 struct CommandResult {
@@ -87,6 +99,11 @@ class CommandExecutor {
   const CommandLimits& limits() const { return limits_; }
 
  private:
+  /// Apply the snapshot_root confinement (command.hpp CommandLimits) to a
+  /// client-supplied snapshot/restore path; throws an ErrorReply when the
+  /// path is absolute or escapes the root. Identity when no root is set.
+  std::string resolve_snapshot_path(const std::string& path) const;
+
   BucketRegistry& buckets_;
   ServerStats& stats_;
   CommandLimits limits_;

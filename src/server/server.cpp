@@ -40,7 +40,10 @@ Server::Server(Options options)
       buckets_(options_.max_buckets),
       executor_(buckets_, stats_, options_.limits) {}
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  stop();
+  close_wake_pipe();
+}
 
 bool Server::start() {
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
@@ -72,16 +75,19 @@ bool Server::start() {
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  int pipefd[2];
+  close_wake_pipe();  // a previous start/stop cycle leaves its pipe open
+  int pipefd[2] = {-1, -1};
   if (pipe(pipefd) != 0 || !set_nonblocking(pipefd[0]) ||
       !set_nonblocking(pipefd[1]) || !set_nonblocking(listen_fd_)) {
     std::perror("popprotod: pipe");
+    if (pipefd[0] >= 0) close(pipefd[0]);
+    if (pipefd[1] >= 0) close(pipefd[1]);
     close(listen_fd_);
     listen_fd_ = -1;
     return false;
   }
   wake_r_ = pipefd[0];
-  wake_w_ = pipefd[1];
+  wake_w_.store(pipefd[1], std::memory_order_release);
 
   workers_ = std::make_unique<TaskQueue>(options_.workers);
   shutting_down_.store(false, std::memory_order_release);
@@ -97,10 +103,22 @@ void Server::request_shutdown() {
 }
 
 void Server::wake() {
-  if (wake_w_ >= 0) {
+  const int w = wake_w_.load(std::memory_order_acquire);
+  if (w >= 0) {
     const char b = 'w';
-    [[maybe_unused]] const ssize_t r = write(wake_w_, &b, 1);
+    [[maybe_unused]] const ssize_t r = write(w, &b, 1);
   }
+}
+
+void Server::close_wake_pipe() {
+  // Only called with no IO thread running (destructor after join(), or
+  // start() before spawning one), so nobody can be mid-wake() here.
+  if (wake_r_ >= 0) {
+    close(wake_r_);
+    wake_r_ = -1;
+  }
+  const int w = wake_w_.exchange(-1, std::memory_order_acq_rel);
+  if (w >= 0) close(w);
 }
 
 void Server::join() {
@@ -329,11 +347,11 @@ void Server::io_loop() {
 
 void Server::quiesce_and_snapshot() {
   // Every connection is gone and no command is queued (one in flight per
-  // connection), so draining the pool leaves the buckets quiescent.
+  // connection), so draining the pool leaves the buckets quiescent. The
+  // wake pipe deliberately stays open until destruction: wake() and
+  // request_shutdown() may be called from any thread at any time, and must
+  // never write into a closed/recycled fd.
   workers_->shutdown();
-  if (wake_r_ >= 0) close(wake_r_);
-  if (wake_w_ >= 0) close(wake_w_);
-  wake_r_ = wake_w_ = -1;
 
   if (options_.snapshot_dir.empty()) return;
   for (const auto& bucket : buckets_.all()) {

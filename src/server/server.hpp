@@ -96,6 +96,8 @@ class Server {
   void close_connection(const std::shared_ptr<Connection>& conn);
   void quiesce_and_snapshot();
   void wake();
+  /// Destructor/start()-only: requires that no IO thread is running.
+  void close_wake_pipe();
 
   Options options_;
   BucketRegistry buckets_;
@@ -104,7 +106,14 @@ class Server {
   std::unique_ptr<TaskQueue> workers_;
 
   int listen_fd_ = -1;
-  int wake_r_ = -1, wake_w_ = -1;
+  // The wake pipe stays open until the destructor (after join()): wake()
+  // is callable from any thread at any point in the server's lifetime, so
+  // closing the write end during shutdown would race a concurrent wake()
+  // into a closed (or since-recycled) fd. Atomic because wake() reads it
+  // off-thread; bytes written after the IO loop exits sit harmlessly in
+  // the pipe buffer.
+  int wake_r_ = -1;
+  std::atomic<int> wake_w_{-1};
   std::uint16_t port_ = 0;
   std::thread io_thread_;
   std::atomic<bool> shutting_down_{false};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "analysis/recovery.hpp"
@@ -107,6 +108,40 @@ TEST(FaultInjector, EmptyPlanIsBitForBitIdenticalOnCountEngine) {
   EXPECT_EQ(plain.effective_interactions(), hooked.effective_interactions());
   EXPECT_DOUBLE_EQ(plain.rounds(), hooked.rounds());
   EXPECT_EQ(sorted_species(plain), sorted_species(hooked));
+}
+
+// Attaching an injector with an empty plan must DETACH whatever a previous
+// injector installed on the engine: the old hook captures its injector by
+// raw `this`, so leaving it installed would dangle the moment that injector
+// is destroyed (heap use-after-free under the sanitize job — the popprotod
+// restore path hit exactly this), and its dropout window would keep
+// suppressing interactions with no owner.
+TEST(FaultInjector, EmptyPlanReattachDetachesPreviousInjector) {
+  auto vars = make_var_space();
+  const Protocol p = epidemic_protocol(vars);
+  const VarId i = *vars->find("I");
+  std::vector<State> init(256, 0);
+  init[0] = var_bit(i);
+
+  Engine engine(p, init, 42, SchedulerKind::kSequential);
+  const BoolExpr infected = BoolExpr::var(i);
+
+  // Total dropout: every interaction is vetoed, the epidemic cannot spread.
+  FaultPlan plan;
+  plan.dropout_window(0.0, 1e9, 1.0);
+  auto blocker = std::make_unique<FaultInjector>(std::move(plan), 7);
+  blocker->attach(engine);
+  engine.run_rounds(5.0);
+  EXPECT_EQ(engine.count_matching(infected), 1u);
+
+  // Detach by attaching an empty plan, then destroy the old injector. A
+  // stale hook would now be dangling: running must neither crash nor keep
+  // dropping interactions.
+  FaultInjector detached(FaultPlan{}, 9);
+  detached.attach(engine);
+  blocker = nullptr;
+  engine.run_rounds(50.0);
+  EXPECT_GT(engine.count_matching(infected), 1u);
 }
 
 // ---------------------------------------------------------------------------

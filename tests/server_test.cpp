@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -356,6 +357,57 @@ TEST_F(ServerTest, SnapshotUnderLoadRoundTrips) {
   EXPECT_EQ(c.cmd("restore sn " + path).rfind("OK ", 0), 0u);
   EXPECT_EQ(c.cmd("observe sn 1"), "COUNT 4096");
   std::remove(path.c_str());
+}
+
+// Regression: restoring a checkpoint that carries no fault state into a
+// bucket with a live fault schedule must detach the engine-side injection
+// hooks before dropping the injector — the stale hook kept a raw pointer to
+// the destroyed injector and the next run dereferenced it (heap
+// use-after-free, caught by the sanitize CI job with this test).
+TEST_F(ServerTest, RestoreWithoutFaultStateDetachesInjector) {
+  const std::string path = ::testing::TempDir() + "server_test_nofault.ckpt";
+  std::remove(path.c_str());
+  Client c(port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.cmd("create rf count approx_majority 1024 5").rfind("CREATED", 0),
+            0u);
+  // Checkpoint before any inject: the file has no fault state.
+  ASSERT_EQ(c.cmd("snapshot rf " + path).rfind("OK ", 0), 0u);
+  // Install a fault schedule (hooks now live on the engine), advance, then
+  // restore the pre-fault checkpoint: the schedule is dropped and its
+  // engine-side hooks must go with it.
+  ASSERT_EQ(c.cmd("inject rf dropout 0 1000 0.5").rfind("OK", 0), 0u);
+  ASSERT_EQ(c.cmd("run rf 2").rfind("OK", 0), 0u);
+  ASSERT_EQ(c.cmd("restore rf " + path).rfind("OK ", 0), 0u);
+  // The dangling hook fired at the next round boundary.
+  EXPECT_EQ(c.cmd("run rf 4").rfind("OK", 0), 0u);
+  EXPECT_EQ(c.cmd("observe rf 1"), "COUNT 1024");
+  std::remove(path.c_str());
+}
+
+TEST(ServerLimits, SnapshotRootConfinesClientPaths) {
+  const std::string root = ::testing::TempDir() + "ppd_snap_root";
+  std::filesystem::create_directories(root);
+  Server::Options opt;
+  opt.limits.snapshot_root = root;
+  Server server(opt);
+  ASSERT_TRUE(server.start());
+  Client c(server.port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.cmd("create s count approx_majority 256 1").rfind("CREATED", 0),
+            0u);
+  // Absolute paths and any ".." component are rejected outright.
+  EXPECT_EQ(c.cmd("snapshot s /tmp/abs.ckpt").rfind("ERROR", 0), 0u);
+  EXPECT_EQ(c.cmd("snapshot s ../escape.ckpt").rfind("ERROR", 0), 0u);
+  EXPECT_EQ(c.cmd("snapshot s sub/../../esc.ckpt").rfind("ERROR", 0), 0u);
+  EXPECT_EQ(c.cmd("restore s ../escape.ckpt").rfind("ERROR", 0), 0u);
+  // Relative paths resolve under the root.
+  EXPECT_EQ(c.cmd("snapshot s ok.ckpt").rfind("OK ", 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(root + "/ok.ckpt"));
+  EXPECT_EQ(c.cmd("restore s ok.ckpt").rfind("OK ", 0), 0u);
+  EXPECT_EQ(c.cmd("observe s 1"), "COUNT 256");
+  server.stop();
+  std::filesystem::remove_all(root);
 }
 
 TEST_F(ServerTest, ShutdownCommandStopsServer) {

@@ -9,6 +9,11 @@
 // Usage:
 //   popprotod [--host A] [--port P] [--workers W] [--max-buckets B]
 //             [--max-n N] [--max-agent-n N] [--snapshot-dir DIR]
+//             [--snapshot-root DIR]
+//
+// --snapshot-root confines client-supplied snapshot/restore paths to DIR
+// (relative paths only, no ".."); without it any path the daemon user can
+// access is accepted, which is only appropriate for trusted loopback use.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +34,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port P] [--workers W] "
                "[--max-buckets B] [--max-n N] [--max-agent-n N] "
-               "[--snapshot-dir DIR]\n",
+               "[--snapshot-dir DIR] [--snapshot-root DIR]\n",
                argv0);
   return 2;
 }
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
       options.limits.max_agent_n = std::strtoull(next(), nullptr, 10);
     else if (arg == "--snapshot-dir")
       options.snapshot_dir = next();
+    else if (arg == "--snapshot-root")
+      options.limits.snapshot_root = next();
     else
       return usage(argv[0]);
   }
