@@ -1,0 +1,213 @@
+// popsweep crash-resume harness (ISSUE 9 acceptance): run a 2x2x2x2 grid
+// uninterrupted, run the same grid again but SIGKILL the whole orchestrator
+// process group mid-sweep, resume it, and assert the resumed sweep
+// converges on the bit-identical deterministic row set.
+//
+// The kill is a real SIGKILL of orchestrator AND workers (kill(-pgid)):
+// no destructors, no atexit, manifests and checkpoints are whatever the
+// atomic rename idiom last published. This is the same contract the CI
+// popsweep smoke exercises through the CLI.
+//
+// Usage: bench_sweep [--bench]   (--bench appends the popsweep suite to the
+// BENCH history store; the comparison always runs). Also accepts the
+// orchestrator's worker calling convention `--run-one --dir D --job J`, so
+// this binary is its own self-contained worker executable.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/bench_io.hpp"
+#include "sweep/manifest.hpp"
+#include "sweep/orchestrator.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace popproto;
+
+constexpr const char* kSpecText =
+    "# bench_sweep acceptance grid: 2 protocols x 2 backends x 2 n x 2 seeds\n"
+    "protocol approx_majority phase_clock\n"
+    "backend agent count\n"
+    "n 16384 32768\n"
+    "seed 1 2\n"
+    "max_rounds 64\n"
+    "checkpoint_every 4\n";
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t got = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (got <= 0) {
+    std::fprintf(stderr, "bench_sweep: cannot resolve /proc/self/exe\n");
+    std::exit(2);
+  }
+  buf[got] = '\0';
+  return buf;
+}
+
+void reset_dir(const std::string& dir, const SweepSpec& spec) {
+  mkdir(dir.c_str(), 0755);
+  std::remove(manifest_path(dir).c_str());
+  std::remove((manifest_path(dir) + ".tmp").c_str());
+  for (const JobSpec& job : expand_grid(spec)) {
+    std::remove((dir + "/" + job.id + ".ckpt").c_str());
+    std::remove((dir + "/" + job.id + ".ckpt.tmp").c_str());
+    std::remove((dir + "/" + job.id + ".result").c_str());
+    std::remove((dir + "/" + job.id + ".result.tmp").c_str());
+  }
+}
+
+std::size_t done_count(const std::string& dir) {
+  return Manifest::load(manifest_path(dir)).count(JobState::kDone);
+}
+
+/// Launch an orchestrator over `dir` in its own process group and SIGKILL
+/// the whole group once at least one job is done (but not all of them).
+/// Returns the number of rows done at the instant the kill was requested;
+/// returns jobs_total when the sweep won the race and finished first.
+std::size_t run_and_kill(const std::string& dir, const std::string& worker,
+                         std::size_t jobs_total) {
+  const pid_t child = fork();
+  if (child == 0) {
+    setpgid(0, 0);  // own group, so the kill takes the workers down too
+    SweepOptions options;
+    options.dir = dir;
+    options.jobs = 4;
+    options.worker_exe = worker;
+    const SweepReport report = run_sweep(options);
+    _exit(report.complete() ? 0 : 1);
+  }
+  setpgid(child, child);  // belt-and-braces against the exec race
+
+  std::size_t seen = 0;
+  for (int spin = 0; spin < 60000; ++spin) {  // 60s guard
+    seen = done_count(dir);
+    if (seen >= 1 && seen < jobs_total) break;
+    int status = 0;
+    if (waitpid(child, &status, WNOHANG) == child) return done_count(dir);
+    usleep(1000);
+  }
+  kill(-child, SIGKILL);
+  int status = 0;
+  waitpid(child, &status, 0);
+  if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+    std::fprintf(stderr, "bench_sweep: orchestrator was not SIGKILLed?\n");
+    std::exit(2);
+  }
+  // Reap any orphaned workers' files implicitly: they were in the killed
+  // group. A straggler that already published a .result is exactly the
+  // orphan-collection path resume must handle.
+  return seen;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool bench = false;
+  std::string dir, job;
+  bool run_one = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench") bench = true;
+    else if (arg == "--run-one") run_one = true;
+    else if (arg == "--dir" && i + 1 < argc) dir = argv[++i];
+    else if (arg == "--job" && i + 1 < argc) job = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: bench_sweep [--bench]\n");
+      return 2;
+    }
+  }
+  if (run_one) return run_one_worker(dir, job);  // worker re-entry
+
+  const SweepSpec spec = parse_sweep_spec(kSpecText);
+  const std::vector<JobSpec> grid = expand_grid(spec);
+  const std::string worker = self_exe();
+  const std::string ref_dir = "bench_sweep_ref";
+  const std::string crash_dir = "bench_sweep_crash";
+
+  // 1. Uninterrupted reference sweep.
+  reset_dir(ref_dir, spec);
+  init_sweep(ref_dir, spec);
+  SweepOptions ref_options;
+  ref_options.dir = ref_dir;
+  ref_options.jobs = 4;
+  ref_options.worker_exe = worker;
+  if (bench) {
+    ref_options.bench_out = bench_json_path("BENCH_engine.json");
+    ref_options.suite = "popsweep";
+  }
+  const SweepReport ref_report = run_sweep(ref_options);
+  if (!ref_report.complete()) {
+    std::fprintf(stderr, "bench_sweep: reference sweep failed (%zu/%zu)\n",
+                 ref_report.done, ref_report.total);
+    return 1;
+  }
+  std::printf("reference sweep: %zu jobs in %.2fs\n", ref_report.done,
+              ref_report.wall_seconds);
+
+  // 2. Same grid, SIGKILLed mid-sweep. Retry the race a few times: on a
+  // fast machine the sweep can finish before the signal lands.
+  std::size_t done_at_kill = grid.size();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    reset_dir(crash_dir, spec);
+    init_sweep(crash_dir, spec);
+    done_at_kill = run_and_kill(crash_dir, worker, grid.size());
+    if (done_at_kill < grid.size()) break;
+    std::fprintf(stderr,
+                 "bench_sweep: sweep outran the kill (attempt %d), retrying\n",
+                 attempt + 1);
+  }
+  const std::size_t survived = done_count(crash_dir);
+  std::printf("killed mid-sweep: %zu/%zu rows had been journaled done\n",
+              survived, grid.size());
+  if (done_at_kill >= grid.size())
+    std::fprintf(stderr,
+                 "bench_sweep: warning: kill never landed mid-flight; "
+                 "resume path not exercised this run\n");
+
+  // 3. Resume to completion.
+  SweepOptions resume_options;
+  resume_options.dir = crash_dir;
+  resume_options.jobs = 4;
+  resume_options.worker_exe = worker;
+  const SweepReport resumed = run_sweep(resume_options);
+  std::printf("resume: %zu/%zu done (%zu executed, %zu orphan results "
+              "collected) in %.2fs\n",
+              resumed.done, resumed.total, resumed.executed,
+              resumed.collected, resumed.wall_seconds);
+  if (!resumed.complete()) {
+    std::fprintf(stderr, "bench_sweep: resumed sweep did not complete\n");
+    return 1;
+  }
+
+  // 4. Row-set identity: every deterministic field bit-identical.
+  const Manifest ref = Manifest::load(manifest_path(ref_dir));
+  const Manifest crash = Manifest::load(manifest_path(crash_dir));
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const JobRow& a = ref.jobs()[i];
+    const JobRow& b = crash.jobs()[i];
+    if (a.spec.id != b.spec.id ||
+        !deterministic_fields_equal(a.result, b.result)) {
+      std::fprintf(stderr, "bench_sweep: row mismatch at %s\n",
+                   a.spec.id.c_str());
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "bench_sweep: FAIL (%zu mismatched rows)\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("row sets bit-identical across SIGKILL + resume (%zu rows)\n",
+              grid.size());
+  return 0;
+}

@@ -240,4 +240,101 @@ Guard Guard::from_minterms(
   return g;
 }
 
+namespace {
+
+// Recursive descent over a character stream:  or := and ('|' and)*,
+// and := not ('&' not)*, not := '!'* atom, atom := '(' or ')' | ident | 0|1.
+// `&&`/`||` collapse to their single-character forms in the lexer.
+class ExprParser {
+ public:
+  ExprParser(const std::string& text, const VarSpace& vars)
+      : text_(text), vars_(vars) {}
+
+  BoolExpr parse() {
+    BoolExpr e = parse_or();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw ExprParseError{"trailing input in expression at '" +
+                           text_.substr(pos_) + "'"};
+    return e;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      // Collapse the doubled forms && and ||.
+      if ((c == '&' || c == '|') && pos_ < text_.size() && text_[pos_] == c)
+        ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  BoolExpr parse_or() {
+    BoolExpr e = parse_and();
+    while (eat('|')) e = e || parse_and();
+    return e;
+  }
+
+  BoolExpr parse_and() {
+    BoolExpr e = parse_not();
+    while (eat('&')) e = e && parse_not();
+    return e;
+  }
+
+  BoolExpr parse_not() {
+    if (eat('!')) return !parse_not();
+    return parse_atom();
+  }
+
+  BoolExpr parse_atom() {
+    skip_ws();
+    if (pos_ >= text_.size())
+      throw ExprParseError{"expression ended unexpectedly"};
+    if (eat('(')) {
+      BoolExpr e = parse_or();
+      if (!eat(')')) throw ExprParseError{"missing ')' in expression"};
+      return e;
+    }
+    skip_ws();
+    if (pos_ >= text_.size())
+      throw ExprParseError{"expression ended unexpectedly"};
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '_';
+      if (!ident) break;
+      ++pos_;
+    }
+    if (pos_ == start)
+      throw ExprParseError{std::string("unexpected character '") +
+                           text_[pos_] + "' in expression"};
+    const std::string name = text_.substr(start, pos_ - start);
+    if (name == "0") return BoolExpr::constant(false);
+    if (name == "1") return BoolExpr::constant(true);
+    if (auto id = vars_.find(name)) return BoolExpr::var(*id);
+    throw ExprParseError{"unknown variable '" + name +
+                         "' for this protocol"};
+  }
+
+  const std::string& text_;
+  const VarSpace& vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+BoolExpr parse_bool_expr(const std::string& text, const VarSpace& vars) {
+  return ExprParser(text, vars).parse();
+}
+
 }  // namespace popproto

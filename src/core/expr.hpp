@@ -59,6 +59,20 @@ class BoolExpr {
   friend class Guard;
 };
 
+/// Thrown by parse_bool_expr on malformed input or unknown variable names.
+struct ExprParseError {
+  std::string message;
+};
+
+/// Parse a boolean formula over `vars` from text: `!` not, `&` and, `|` or,
+/// parentheses, literals `0`/`1`, identifiers resolved against the variable
+/// space; whitespace between operators is optional and the doubled forms
+/// `&&`/`||` are accepted. Shared by popprotod's `run-until`/`observe`
+/// grammar (server/command.cpp) and popsweep's `until` spec key
+/// (sweep/spec.cpp). Throws ExprParseError with a caller-presentable
+/// message on bad input.
+BoolExpr parse_bool_expr(const std::string& text, const VarSpace& vars);
+
 /// Compiled guard: DNF minterm list over the formula's support.
 class Guard {
  public:

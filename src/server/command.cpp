@@ -63,96 +63,9 @@ std::string fmt_u64(std::uint64_t v) {
 }
 
 // -- Guard-expression parsing -----------------------------------------------
-// Recursive descent over a character stream:  or := and ('|' and)*,
-// and := not ('&' not)*, not := '!'* atom, atom := '(' or ')' | ident | 0|1.
-// `&&`/`||` collapse to their single-character forms in the lexer.
-
-struct ExprError {
-  std::string message;
-};
-
-class ExprParser {
- public:
-  ExprParser(const std::string& text, const VarSpace& vars)
-      : text_(text), vars_(vars) {}
-
-  BoolExpr parse() {
-    BoolExpr e = parse_or();
-    skip_ws();
-    if (pos_ != text_.size())
-      throw ExprError{"trailing input in expression at '" +
-                      text_.substr(pos_) + "'"};
-    return e;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t'))
-      ++pos_;
-  }
-
-  bool eat(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      // Collapse the doubled forms && and ||.
-      if ((c == '&' || c == '|') && pos_ < text_.size() && text_[pos_] == c)
-        ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  BoolExpr parse_or() {
-    BoolExpr e = parse_and();
-    while (eat('|')) e = e || parse_and();
-    return e;
-  }
-
-  BoolExpr parse_and() {
-    BoolExpr e = parse_not();
-    while (eat('&')) e = e && parse_not();
-    return e;
-  }
-
-  BoolExpr parse_not() {
-    if (eat('!')) return !parse_not();
-    return parse_atom();
-  }
-
-  BoolExpr parse_atom() {
-    skip_ws();
-    if (pos_ >= text_.size()) throw ExprError{"expression ended unexpectedly"};
-    if (eat('(')) {
-      BoolExpr e = parse_or();
-      if (!eat(')')) throw ExprError{"missing ')' in expression"};
-      return e;
-    }
-    skip_ws();
-    if (pos_ >= text_.size()) throw ExprError{"expression ended unexpectedly"};
-    const std::size_t start = pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      const bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                         (c >= '0' && c <= '9') || c == '_';
-      if (!ident) break;
-      ++pos_;
-    }
-    if (pos_ == start)
-      throw ExprError{std::string("unexpected character '") + text_[pos_] +
-                      "' in expression"};
-    const std::string name = text_.substr(start, pos_ - start);
-    if (name == "0") return BoolExpr::constant(false);
-    if (name == "1") return BoolExpr::constant(true);
-    if (auto id = vars_.find(name)) return BoolExpr::var(*id);
-    throw ExprError{"unknown variable '" + name + "' for this protocol"};
-  }
-
-  const std::string& text_;
-  const VarSpace& vars_;
-  std::size_t pos_ = 0;
-};
+// The recursive-descent parser itself lives in core/expr.cpp
+// (parse_bool_expr) so popsweep's `until` spec key shares one grammar with
+// this protocol; ExprParseError propagates to the execute() catch below.
 
 /// Join tokens[from..] back into one expression string. Tokenizing the line
 /// first and re-joining keeps the command grammar whitespace-insensitive
@@ -462,7 +375,7 @@ CommandResult CommandExecutor::execute(const std::string& line) {
       const std::string expr_text = join_from(tokens, 3, expr_end);
       std::lock_guard<std::mutex> lock(bucket->mu);
       const BoolExpr expr =
-          ExprParser(expr_text, *bucket->instance->vars).parse();
+          parse_bool_expr(expr_text, *bucket->instance->vars);
       const Guard guard(expr);
       const auto pred = [&](const SimBackend& e) {
         const std::uint64_t rhs = target_all ? e.active_n() : target;
@@ -479,7 +392,7 @@ CommandResult CommandExecutor::execute(const std::string& line) {
       const std::string expr_text = join_from(tokens, 2, tokens.size());
       std::lock_guard<std::mutex> lock(bucket->mu);
       const BoolExpr expr =
-          ExprParser(expr_text, *bucket->instance->vars).parse();
+          parse_bool_expr(expr_text, *bucket->instance->vars);
       return ok("COUNT " + fmt_u64(bucket->engine->count_matching(expr)));
     }
 
@@ -605,7 +518,7 @@ CommandResult CommandExecutor::execute(const std::string& line) {
     stats_.errors_total.fetch_add(1, std::memory_order_relaxed);
     if (tallied) tallied->errors.fetch_add(1, std::memory_order_relaxed);
     return ok("ERROR " + e.message);
-  } catch (const ExprError& e) {
+  } catch (const ExprParseError& e) {
     stats_.errors_total.fetch_add(1, std::memory_order_relaxed);
     if (tallied) tallied->errors.fetch_add(1, std::memory_order_relaxed);
     return ok("ERROR " + e.message);

@@ -145,13 +145,14 @@ std::vector<std::string> registered_backend_names() {
 
 std::unique_ptr<SimBackend> make_backend_instance(
     const std::string& backend, const ProtocolInstance& inst,
-    std::uint64_t seed) {
+    std::uint64_t seed, unsigned parallelism) {
   if (backend == "agent")
     return std::make_unique<Engine>(*inst.protocol,
                                     counts_to_states(inst.initial_counts),
                                     seed);
   if (backend == "batch") {
-    BatchEngine::Params params;  // threads picked by the engine
+    BatchEngine::Params params;  // threads picked by the engine when 0
+    params.threads = parallelism;
     return std::make_unique<BatchEngine>(
         *inst.protocol, counts_to_states(inst.initial_counts), seed, params);
   }
@@ -160,7 +161,10 @@ std::unique_ptr<SimBackend> make_backend_instance(
                                          seed);
   if (backend == "count_shard") {
     CountShardEngine::Params params;
-    params.shards = 4;  // lowered automatically until min_shard holds
+    // Structural shard count; lowered automatically until min_shard holds.
+    // Execution threads stay auto-probed (thread count is not part of the
+    // count_shard trajectory identity, DESIGN.md §11).
+    params.shards = parallelism == 0 ? 4 : parallelism;
     return std::make_unique<CountShardEngine>(*inst.protocol,
                                               inst.initial_counts, seed,
                                               params);

@@ -1,0 +1,391 @@
+#include "sweep/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/serialize.hpp"
+
+namespace popproto {
+namespace {
+
+constexpr const char* kMagic = "popsweep-manifest v1";
+constexpr const char* kResultMagic = "popsweep-result v1";
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+  return buf;
+}
+
+// C99 hexfloat: round-trips the IEEE-754 bit pattern exactly, which the
+// bit-identical row-set acceptance (bench_sweep) depends on.
+std::string fmt_exact(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out, int base = 10) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, base);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_exact(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw ManifestError{path + ": " + what};
+}
+
+/// key=value fields of a job/result line, after the positional tokens.
+struct FieldMap {
+  std::vector<std::pair<std::string, std::string>> fields;
+  const std::string* get(const char* key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+FieldMap split_fields(std::istringstream& rest) {
+  FieldMap out;
+  std::string tok;
+  while (rest >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    out.fields.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return out;
+}
+
+std::string result_body(const std::string& job_id, const JobResult& r) {
+  std::string out;
+  out += "rounds=" + fmt_exact(r.rounds);
+  out += " interactions=" + fmt_u64(r.interactions);
+  out += " converged=" + std::string(r.converged ? "1" : "0");
+  out += " converged_at=" + fmt_exact(r.converged_at);
+  out += " species_crc=" + fmt_hex64(r.species_crc);
+  out += " active_n=" + fmt_u64(r.active_n);
+  out += " effective=" + fmt_u64(r.effective_steps);
+  char wall[48];
+  std::snprintf(wall, sizeof wall, "%.17g", r.wall_seconds);
+  out += " wall=" + std::string(wall);
+  out += " resumed=" + std::string(r.resumed ? "1" : "0");
+  out += " ckpt_rejected=" + std::string(r.checkpoint_rejected ? "1" : "0");
+  (void)job_id;
+  return out;
+}
+
+void parse_result_fields(const std::string& path, const FieldMap& f,
+                         JobResult* r) {
+  const auto need = [&](const char* key) -> const std::string& {
+    const std::string* v = f.get(key);
+    if (v == nullptr) corrupt(path, std::string("missing field ") + key);
+    return *v;
+  };
+  std::uint64_t u = 0;
+  if (!parse_exact(need("rounds"), &r->rounds))
+    corrupt(path, "bad rounds field");
+  if (!parse_u64(need("interactions"), &r->interactions))
+    corrupt(path, "bad interactions field");
+  if (!parse_u64(need("converged"), &u) || u > 1)
+    corrupt(path, "bad converged field");
+  r->converged = u == 1;
+  if (!parse_exact(need("converged_at"), &r->converged_at))
+    corrupt(path, "bad converged_at field");
+  const std::string& crc = need("species_crc");
+  if (crc.size() < 3 || crc.compare(0, 2, "0x") != 0 ||
+      !parse_u64(crc.substr(2), &r->species_crc, 16))
+    corrupt(path, "bad species_crc field");
+  if (!parse_u64(need("active_n"), &r->active_n))
+    corrupt(path, "bad active_n field");
+  if (!parse_u64(need("effective"), &r->effective_steps))
+    corrupt(path, "bad effective field");
+  if (!parse_exact(need("wall"), &r->wall_seconds))
+    corrupt(path, "bad wall field");
+  if (!parse_u64(need("resumed"), &u) || u > 1)
+    corrupt(path, "bad resumed field");
+  r->resumed = u == 1;
+  if (!parse_u64(need("ckpt_rejected"), &u) || u > 1)
+    corrupt(path, "bad ckpt_rejected field");
+  r->checkpoint_rejected = u == 1;
+}
+
+/// Atomic publish shared by the manifest and result writers.
+void write_atomically(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw ManifestError{"cannot open staging file " + tmp};
+    out << body;
+    out.flush();
+    if (!out) throw ManifestError{"write failed: " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw ManifestError{"cannot publish " + path};
+}
+
+/// Read `path` whole and strip + verify the `end <crc32>` trailer; returns
+/// the trailer-covered prefix. The trailer proves the rename-published file
+/// is complete AND unmodified — a torn write cannot survive the rename
+/// idiom, but a copy truncated in transit or a hand-edited row can, and
+/// both must fail loudly rather than resume a wrong row set.
+std::string read_checked(const std::string& path, bool* missing) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (missing != nullptr) {
+      *missing = true;
+      return {};
+    }
+    corrupt(path, "cannot read");
+  }
+  if (missing != nullptr) *missing = false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty() || text.back() != '\n')
+    corrupt(path, "truncated (no trailing newline)");
+  const std::size_t pos = text.rfind("\nend ");
+  if (pos == std::string::npos) corrupt(path, "truncated (no end trailer)");
+  const std::string trailer = text.substr(pos + 1);  // "end 0x........\n"
+  std::istringstream ts(trailer);
+  std::string word, crc_text;
+  if (!(ts >> word >> crc_text) || word != "end")
+    corrupt(path, "malformed end trailer");
+  std::uint64_t stored = 0;
+  if (crc_text.size() < 3 || crc_text.compare(0, 2, "0x") != 0 ||
+      !parse_u64(crc_text.substr(2), &stored, 16))
+    corrupt(path, "malformed end trailer crc");
+  const std::string body = text.substr(0, pos + 1);
+  if (crc32(body) != static_cast<std::uint32_t>(stored))
+    corrupt(path, "crc mismatch (truncated or corrupt)");
+  return body;
+}
+
+std::string with_trailer(const std::string& body) {
+  return body + "end " + fmt_hex32(crc32(body)) + "\n";
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+bool deterministic_fields_equal(const JobResult& a, const JobResult& b) {
+  std::uint64_t ra, rb, ca, cb;
+  std::memcpy(&ra, &a.rounds, sizeof ra);
+  std::memcpy(&rb, &b.rounds, sizeof rb);
+  std::memcpy(&ca, &a.converged_at, sizeof ca);
+  std::memcpy(&cb, &b.converged_at, sizeof cb);
+  return ra == rb && a.interactions == b.interactions &&
+         a.converged == b.converged && ca == cb &&
+         a.species_crc == b.species_crc && a.active_n == b.active_n &&
+         a.effective_steps == b.effective_steps;
+}
+
+Manifest Manifest::create(const SweepSpec& spec) {
+  Manifest m;
+  m.spec_ = spec;
+  if (m.spec_.text.empty() || m.spec_.text.back() != '\n')
+    m.spec_.text += '\n';  // canonical form, so the crc is reproducible
+  m.spec_crc_ = crc32(m.spec_.text);
+  for (JobSpec& job : expand_grid(m.spec_)) {
+    JobRow row;
+    row.spec = std::move(job);
+    m.jobs_.push_back(std::move(row));
+  }
+  return m;
+}
+
+void Manifest::save(const std::string& path) const {
+  std::string body;
+  body += kMagic;
+  body += "\nspec_crc " + fmt_hex32(spec_crc_);
+  const std::vector<std::string> spec_lines = split_lines(spec_.text);
+  body += "\nspec_lines " + fmt_u64(spec_lines.size()) + "\n";
+  for (const auto& line : spec_lines) body += "| " + line + "\n";
+  body += "jobs " + fmt_u64(jobs_.size()) + "\n";
+  for (const JobRow& row : jobs_) {
+    body += "job " + row.spec.id + " " + job_state_name(row.state) +
+            " attempts=" + fmt_u64(row.attempts);
+    if (row.state == JobState::kDone)
+      body += " " + result_body(row.spec.id, row.result);
+    body += "\n";
+  }
+  write_atomically(path, with_trailer(body));
+}
+
+Manifest Manifest::load(const std::string& path) {
+  const std::string body = read_checked(path, nullptr);
+  const std::vector<std::string> lines = split_lines(body);
+  std::size_t i = 0;
+  const auto next = [&]() -> const std::string& {
+    if (i >= lines.size()) corrupt(path, "unexpected end of manifest");
+    return lines[i++];
+  };
+  if (next() != kMagic) corrupt(path, "bad magic line");
+
+  std::istringstream crc_line(next());
+  std::string word, value;
+  std::uint64_t stored_spec_crc = 0;
+  if (!(crc_line >> word >> value) || word != "spec_crc" ||
+      value.size() < 3 || value.compare(0, 2, "0x") != 0 ||
+      !parse_u64(value.substr(2), &stored_spec_crc, 16))
+    corrupt(path, "bad spec_crc line");
+
+  std::istringstream count_line(next());
+  std::uint64_t spec_lines = 0;
+  if (!(count_line >> word >> value) || word != "spec_lines" ||
+      !parse_u64(value, &spec_lines))
+    corrupt(path, "bad spec_lines line");
+  std::string spec_text;
+  for (std::uint64_t k = 0; k < spec_lines; ++k) {
+    const std::string& line = next();
+    if (line.compare(0, 2, "| ") != 0) corrupt(path, "bad spec body line");
+    spec_text += line.substr(2);
+    spec_text += '\n';
+  }
+  if (crc32(spec_text) != static_cast<std::uint32_t>(stored_spec_crc))
+    corrupt(path, "embedded spec does not match spec_crc");
+
+  Manifest m;
+  try {
+    m.spec_ = parse_sweep_spec(spec_text);
+  } catch (const SpecError& e) {
+    corrupt(path, "embedded spec invalid: " + e.message);
+  }
+  m.spec_crc_ = static_cast<std::uint32_t>(stored_spec_crc);
+
+  std::istringstream jobs_line(next());
+  std::uint64_t job_count = 0;
+  if (!(jobs_line >> word >> value) || word != "jobs" ||
+      !parse_u64(value, &job_count))
+    corrupt(path, "bad jobs line");
+
+  // Rows must be exactly the embedded spec's grid, in expansion order: the
+  // id is the join key between manifest, checkpoints, and result files.
+  std::vector<JobSpec> grid = expand_grid(m.spec_);
+  if (job_count != grid.size())
+    corrupt(path, "job count disagrees with the embedded spec's grid");
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    std::istringstream row_line(next());
+    std::string tag, id, state;
+    if (!(row_line >> tag >> id >> state) || tag != "job")
+      corrupt(path, "bad job row");
+    if (id != grid[k].id)
+      corrupt(path, "job row '" + id + "' does not match grid id '" +
+                        grid[k].id + "'");
+    JobRow row;
+    row.spec = std::move(grid[k]);
+    if (state == "pending")
+      row.state = JobState::kPending;
+    else if (state == "running")
+      row.state = JobState::kRunning;
+    else if (state == "done")
+      row.state = JobState::kDone;
+    else if (state == "failed")
+      row.state = JobState::kFailed;
+    else
+      corrupt(path, "bad job state '" + state + "'");
+    const FieldMap fields = split_fields(row_line);
+    const std::string* attempts = fields.get("attempts");
+    std::uint64_t a = 0;
+    if (attempts == nullptr || !parse_u64(*attempts, &a))
+      corrupt(path, "bad attempts field");
+    row.attempts = static_cast<std::uint32_t>(a);
+    if (row.state == JobState::kDone)
+      parse_result_fields(path, fields, &row.result);
+    m.jobs_.push_back(std::move(row));
+  }
+  if (i != lines.size()) corrupt(path, "trailing content after job rows");
+  return m;
+}
+
+JobRow* Manifest::find(const std::string& id) {
+  for (JobRow& row : jobs_)
+    if (row.spec.id == id) return &row;
+  return nullptr;
+}
+
+std::size_t Manifest::count(JobState s) const {
+  std::size_t n = 0;
+  for (const JobRow& row : jobs_)
+    if (row.state == s) ++n;
+  return n;
+}
+
+void write_result_file(const std::string& path, const std::string& job_id,
+                       const JobResult& result) {
+  std::string body;
+  body += kResultMagic;
+  body += "\njob " + job_id + " " + result_body(job_id, result) + "\n";
+  write_atomically(path, with_trailer(body));
+}
+
+bool read_result_file(const std::string& path, const std::string& job_id,
+                      JobResult* out) {
+  bool missing = false;
+  const std::string body = read_checked(path, &missing);
+  if (missing) return false;
+  const std::vector<std::string> lines = split_lines(body);
+  if (lines.size() != 2 || lines[0] != kResultMagic)
+    corrupt(path, "bad result file");
+  std::istringstream row(lines[1]);
+  std::string tag, id;
+  if (!(row >> tag >> id) || tag != "job") corrupt(path, "bad result row");
+  if (id != job_id)
+    corrupt(path, "result for job '" + id + "', expected '" + job_id + "'");
+  JobResult r;
+  parse_result_fields(path, split_fields(row), &r);
+  *out = r;
+  return true;
+}
+
+}  // namespace popproto

@@ -1,0 +1,338 @@
+#include "sweep/orchestrator.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+
+#include "server/protocol_registry.hpp"
+#include "support/bench_io.hpp"
+#include "support/serialize.hpp"
+#include "sweep/runner.hpp"
+
+namespace popproto {
+namespace {
+
+std::string checkpoint_path(const std::string& dir, const std::string& id) {
+  return dir + "/" + id + ".ckpt";
+}
+
+std::string result_path(const std::string& dir, const std::string& id) {
+  return dir + "/" + id + ".result";
+}
+
+bool name_known(const std::vector<std::string>& names, const std::string& s) {
+  return std::find(names.begin(), names.end(), s) != names.end();
+}
+
+/// Journal a state transition. Every transition is durable before its
+/// consequences: `running` is saved before the worker spawns (so a crash
+/// re-dispatches, never forgets), `done` is saved before the checkpoint and
+/// result files are unlinked (so a crash between the two re-collects or, at
+/// worst, deterministically re-runs to the identical row).
+void journal(const Manifest& m, const std::string& dir) {
+  m.save(manifest_path(dir));
+}
+
+void unlink_job_files(const std::string& dir, const std::string& id) {
+  std::remove(checkpoint_path(dir, id).c_str());
+  std::remove((checkpoint_path(dir, id) + ".tmp").c_str());
+  std::remove(result_path(dir, id).c_str());
+}
+
+void note(const SweepOptions& options, const char* what,
+          const JobRow& row) {
+  if (!options.verbose) return;
+  std::fprintf(stderr, "popsweep: %-9s %s (attempt %u)\n", what,
+               row.spec.id.c_str(), row.attempts);
+}
+
+/// Fork/exec one worker. Returns -1 when fork fails.
+pid_t spawn_worker(const std::string& exe, const std::string& dir,
+                   const std::string& id) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(exe.c_str(), exe.c_str(), "--run-one", "--dir", dir.c_str(),
+          "--job", id.c_str(), static_cast<char*>(nullptr));
+    std::fprintf(stderr, "popsweep: cannot exec %s\n", exe.c_str());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Collect a finished worker's result file into its row. Returns false —
+/// journaling the row as failed — when the file is missing or corrupt.
+bool collect_result(const std::string& dir, JobRow& row) {
+  JobResult r;
+  try {
+    if (!read_result_file(result_path(dir, row.spec.id), row.spec.id, &r))
+      return false;
+  } catch (const ManifestError& e) {
+    std::fprintf(stderr, "popsweep: job %s: bad result file (%s)\n",
+                 row.spec.id.c_str(), e.message.c_str());
+    return false;
+  }
+  row.result = r;
+  row.state = JobState::kDone;
+  return true;
+}
+
+void append_bench_rows(const Manifest& m, const SweepOptions& options,
+                       double sweep_wall) {
+  std::vector<BenchRecord> records;
+  double total_job_wall = 0.0;
+  for (const JobRow& row : m.jobs()) {
+    const JobResult& r = row.result;
+    BenchRecord rec;
+    rec.name = "sweep_" + row.spec.id;
+    rec.wall_seconds = r.wall_seconds;
+    if (r.wall_seconds > 0.0) {
+      rec.interactions_per_sec =
+          static_cast<double>(r.interactions) / r.wall_seconds;
+      rec.effective_interactions_per_sec =
+          static_cast<double>(r.effective_steps) / r.wall_seconds;
+    }
+    rec.extra = {
+        {"n", static_cast<double>(row.spec.n)},
+        {"seed", static_cast<double>(row.spec.seed)},
+        {"threads", static_cast<double>(row.spec.threads)},
+        {"rounds", r.rounds},
+        {"converged", r.converged ? 1.0 : 0.0},
+        {"converged_at", r.converged_at},
+        {"active_n", static_cast<double>(r.active_n)},
+        {"attempts", static_cast<double>(row.attempts)},
+        {"job_wall_seconds", r.wall_seconds},
+    };
+    total_job_wall += r.wall_seconds;
+    records.push_back(std::move(rec));
+  }
+  BenchRecord total;
+  total.name = "sweep_total";
+  total.wall_seconds = sweep_wall;
+  total.extra = {
+      {"jobs", static_cast<double>(m.jobs().size())},
+      {"sweep_wall_seconds", sweep_wall},
+      {"total_job_wall_seconds", total_job_wall},
+  };
+  records.push_back(std::move(total));
+  write_bench_json(options.bench_out, options.suite, records);
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest";
+}
+
+void init_sweep(const std::string& dir, const SweepSpec& spec) {
+  // Fail the whole sweep on a name typo before any job burns cycles; n and
+  // seed ranges need no gate here (the registry checks n >= 2 per job).
+  const auto protocols = registered_protocol_names();
+  const auto backends = registered_backend_names();
+  for (const auto& p : spec.protocols)
+    if (!name_known(protocols, p))
+      throw SpecError{"unknown protocol '" + p + "'"};
+  for (const auto& b : spec.backends)
+    if (!name_known(backends, b))
+      throw SpecError{"unknown backend '" + b + "'"};
+
+  const std::string path = manifest_path(dir);
+  if (std::ifstream(path))
+    throw ManifestError{path +
+                        ": already exists (resume it, or point --dir at a "
+                        "fresh directory)"};
+  // A fresh sweep owns its directory; create one level (EEXIST is fine —
+  // a deeper missing parent still fails atomically in save()).
+  mkdir(dir.c_str(), 0755);
+  Manifest::create(spec).save(path);
+}
+
+SweepReport run_sweep(const SweepOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::string& dir = options.dir;
+  Manifest m = Manifest::load(manifest_path(dir));
+
+  SweepReport report;
+  report.total = m.jobs().size();
+
+  // Phase 1 — collect orphans: a worker that finished while the previous
+  // orchestrator was already dead left a valid `.result` file behind.
+  // Harvest those rows without re-running anything.
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < m.jobs().size(); ++i) {
+    JobRow& row = m.jobs()[i];
+    if (row.state == JobState::kDone) continue;
+    if (collect_result(dir, row)) {
+      ++report.collected;
+      note(options, "collected", row);
+      continue;
+    }
+    queue.push_back(i);
+  }
+  if (report.collected > 0) {
+    journal(m, dir);
+    for (JobRow& row : m.jobs())
+      if (row.state == JobState::kDone)
+        unlink_job_files(dir, row.spec.id);
+  }
+
+  // Phase 2 — dispatch everything else (pending, failed-retry, and running
+  // rows whose worker died with the previous orchestrator).
+  if (options.worker_exe.empty()) {
+    // In-process mode: sequential, same transitions as the pool below.
+    while (!queue.empty()) {
+      JobRow& row = m.jobs()[queue.front()];
+      queue.pop_front();
+      row.state = JobState::kRunning;
+      ++row.attempts;
+      journal(m, dir);
+      note(options, "running", row);
+      ++report.executed;
+      try {
+        row.result =
+            run_one_job(row.spec, m.spec(), checkpoint_path(dir, row.spec.id));
+        row.state = JobState::kDone;
+        journal(m, dir);
+        unlink_job_files(dir, row.spec.id);
+        note(options, "done", row);
+      } catch (const RunnerError& e) {
+        std::fprintf(stderr, "popsweep: job %s failed: %s\n",
+                     row.spec.id.c_str(), e.message.c_str());
+        row.state = JobState::kFailed;
+        journal(m, dir);
+      }
+    }
+  } else {
+    const int max_jobs = std::max(1, options.jobs);
+    std::map<pid_t, std::size_t> inflight;
+    while (!queue.empty() || !inflight.empty()) {
+      while (!queue.empty() &&
+             inflight.size() < static_cast<std::size_t>(max_jobs)) {
+        const std::size_t idx = queue.front();
+        queue.pop_front();
+        JobRow& row = m.jobs()[idx];
+        row.state = JobState::kRunning;
+        ++row.attempts;
+        journal(m, dir);
+        note(options, "running", row);
+        const pid_t pid =
+            spawn_worker(options.worker_exe, dir, row.spec.id);
+        if (pid < 0) {
+          std::fprintf(stderr, "popsweep: fork failed for job %s\n",
+                       row.spec.id.c_str());
+          row.state = JobState::kFailed;
+          journal(m, dir);
+          continue;
+        }
+        ++report.executed;
+        inflight[pid] = idx;
+      }
+      if (inflight.empty()) continue;
+      int status = 0;
+      const pid_t pid = waitpid(-1, &status, 0);
+      if (pid < 0) continue;  // EINTR
+      const auto it = inflight.find(pid);
+      if (it == inflight.end()) continue;  // not one of ours
+      JobRow& row = m.jobs()[it->second];
+      inflight.erase(it);
+      const bool exited_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (exited_ok && collect_result(dir, row)) {
+        journal(m, dir);
+        unlink_job_files(dir, row.spec.id);
+        note(options, "done", row);
+      } else {
+        if (exited_ok)
+          std::fprintf(stderr,
+                       "popsweep: job %s exited 0 without a result file\n",
+                       row.spec.id.c_str());
+        else
+          std::fprintf(stderr, "popsweep: job %s worker exited abnormally\n",
+                       row.spec.id.c_str());
+        row.state = JobState::kFailed;
+        journal(m, dir);
+      }
+    }
+  }
+
+  report.done = m.count(JobState::kDone);
+  report.failed = m.count(JobState::kFailed);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (report.complete() && !options.bench_out.empty())
+    append_bench_rows(m, options, report.wall_seconds);
+  return report;
+}
+
+int run_one_worker(const std::string& dir, const std::string& job_id) {
+  try {
+    Manifest m = Manifest::load(manifest_path(dir));
+    JobRow* row = m.find(job_id);
+    if (row == nullptr) {
+      std::fprintf(stderr, "popsweep: no job '%s' in %s\n", job_id.c_str(),
+                   manifest_path(dir).c_str());
+      return 2;
+    }
+    // The worker never writes the manifest — the orchestrator is its sole
+    // writer. Results travel through the atomic per-job result file.
+    const JobResult result =
+        run_one_job(row->spec, m.spec(), checkpoint_path(dir, job_id));
+    write_result_file(result_path(dir, job_id), job_id, result);
+    return 0;
+  } catch (const RunnerError& e) {
+    std::fprintf(stderr, "popsweep: job %s: %s\n", job_id.c_str(),
+                 e.message.c_str());
+    return 1;
+  } catch (const SnapshotError& e) {
+    // Load-time SnapshotErrors are absorbed by the runner (bad checkpoint
+    // -> re-run from scratch); reaching here means a WRITE failed — disk
+    // full, directory vanished, or a second orchestrator racing this one.
+    std::fprintf(stderr, "popsweep: job %s: %s\n", job_id.c_str(), e.what());
+    return 1;
+  } catch (const ManifestError& e) {
+    std::fprintf(stderr, "popsweep: job %s: %s\n", job_id.c_str(),
+                 e.message.c_str());
+    return 1;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "popsweep: job %s: %s\n", job_id.c_str(),
+                 e.message.c_str());
+    return 1;
+  }
+}
+
+std::string sweep_status(const std::string& dir) {
+  const Manifest m = Manifest::load(manifest_path(dir));
+  std::string out;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "jobs %zu: %zu done, %zu running, %zu failed, %zu pending\n",
+                m.jobs().size(), m.count(JobState::kDone),
+                m.count(JobState::kRunning), m.count(JobState::kFailed),
+                m.count(JobState::kPending));
+  out += head;
+  for (const JobRow& row : m.jobs()) {
+    char line[256];
+    if (row.state == JobState::kDone)
+      std::snprintf(line, sizeof line,
+                    "  %-8s %-40s attempts=%u rounds=%g converged=%d\n",
+                    job_state_name(row.state), row.spec.id.c_str(),
+                    row.attempts, row.result.rounds,
+                    row.result.converged ? 1 : 0);
+    else
+      std::snprintf(line, sizeof line, "  %-8s %-40s attempts=%u\n",
+                    job_state_name(row.state), row.spec.id.c_str(),
+                    row.attempts);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace popproto

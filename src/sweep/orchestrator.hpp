@@ -1,0 +1,86 @@
+// The popsweep orchestrator: fans a manifest's jobs out across worker
+// processes and journals progress so a killed sweep resumes instead of
+// restarting (DESIGN.md §12).
+//
+// Layout of a sweep directory:
+//   <dir>/manifest        journaled job table (sweep/manifest.hpp)
+//   <dir>/<job>.ckpt      per-job AutoCheckpoint (persist/checkpoint.hpp)
+//   <dir>/<job>.result    completed worker's result hand-off file
+//
+// Two execution modes share every other code path:
+//   * process mode (worker_exe set): each dispatched job is fork/exec'd as
+//     `<worker_exe> --run-one --dir <dir> --job <id>`, up to `jobs`
+//     concurrently. The worker builds and drives the engine
+//     (sweep/runner.cpp) and reports through an atomic result file; the
+//     orchestrator owns the manifest exclusively, so there is never more
+//     than one journal writer.
+//   * in-process mode (worker_exe empty): jobs run sequentially inside the
+//     caller. Used by tests and as the `--jobs 0` fallback; identical
+//     manifest transitions and result values (the runner is the same).
+//
+// Crash recovery (`run_sweep` is resume-or-run; there is no separate resume
+// entry point): done rows are skipped; a surviving `.result` file whose
+// parent died before collecting it is collected without re-running; running
+// and failed rows are re-dispatched, their workers resuming from the job
+// checkpoint when it validates, from scratch when it does not. Since every
+// deterministic result field is a pure function of the job spec
+// (sweep/runner.hpp), any interleaving of crashes and resumes converges to
+// the same row set.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sweep/manifest.hpp"
+
+namespace popproto {
+
+struct SweepOptions {
+  /// Sweep directory (must exist). Holds manifest, checkpoints, results.
+  std::string dir;
+  /// Max concurrent worker processes (process mode); >= 1.
+  int jobs = 1;
+  /// Binary to fork/exec with `--run-one` (typically /proc/self/exe).
+  /// Empty selects in-process mode.
+  std::string worker_exe;
+  /// When non-empty, a completed sweep appends its rows to this
+  /// BENCH-style history store (support/bench_io.hpp).
+  std::string bench_out;
+  /// Suite name stamped on the BENCH history entry.
+  std::string suite = "popsweep";
+  /// Per-job progress lines on stderr.
+  bool verbose = false;
+};
+
+struct SweepReport {
+  std::size_t total = 0;
+  std::size_t done = 0;       // rows done after this invocation
+  std::size_t failed = 0;     // rows failed after this invocation
+  std::size_t executed = 0;   // jobs actually dispatched this invocation
+  std::size_t collected = 0;  // orphan result files collected, not re-run
+  double wall_seconds = 0.0;
+  bool complete() const { return done == total; }
+};
+
+/// Path of the manifest inside a sweep directory.
+std::string manifest_path(const std::string& dir);
+
+/// Expand `spec` and journal a fresh manifest into `dir`. Validates every
+/// protocol/backend name against the registry up front so a typo fails the
+/// sweep before any job runs. Throws SpecError/ManifestError; refuses to
+/// overwrite an existing manifest (resume instead).
+void init_sweep(const std::string& dir, const SweepSpec& spec);
+
+/// Drive the manifest in `dir` to completion (resume-or-run). Throws
+/// ManifestError/SpecError on a missing or invalid manifest. Worker
+/// failures do not throw: they are journaled as failed rows and reported.
+SweepReport run_sweep(const SweepOptions& options);
+
+/// The `--run-one` worker body: run one job of `dir`'s manifest and write
+/// its result file. Returns a process exit code (0 success).
+int run_one_worker(const std::string& dir, const std::string& job_id);
+
+/// Human-readable job table for `popsweep status`.
+std::string sweep_status(const std::string& dir);
+
+}  // namespace popproto

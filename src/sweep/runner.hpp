@@ -1,0 +1,43 @@
+// Runs one expanded sweep job to completion, crash-tolerantly
+// (DESIGN.md §12).
+//
+// A job is self-contained: (protocol, backend, n, seed, threads) from the
+// grid plus the spec-wide drive config (max_rounds, until predicate, fault
+// plan, checkpoint cadence). run_one_job builds the instance through
+// server/protocol_registry (the same factories popprotod buckets use),
+// wires it through persist/AutoCheckpoint at `<dir>/<id>.ckpt`, and drives
+// unit rounds until the horizon or the predicate. If a checkpoint exists it
+// resumes from it; if the checkpoint fails validation (typed SnapshotError:
+// wrong protocol fingerprint, truncation, checksum, backend mismatch) the
+// file is discarded and the job RESTARTS FROM SCRATCH — one poisoned
+// checkpoint costs one job's progress, never the sweep.
+//
+// Determinism contract: the drive loop is unit-round (`run_rounds(1.0)` +
+// checkpoint tick + predicate check), so every checkpoint lands on a unit
+// boundary and a resumed job replays the exact unit-call sequence of an
+// uninterrupted one. With the backend's bit-identical snapshot/restore
+// (DESIGN.md §10) this makes every deterministic JobResult field a pure
+// function of the job spec — regardless of how many times the job was
+// killed and resumed, and (for "count_shard") on how many cores it ran.
+#pragma once
+
+#include <string>
+
+#include "sweep/manifest.hpp"
+
+namespace popproto {
+
+/// Thrown when a job cannot be built or driven: unknown protocol/backend
+/// name, until-expression naming variables the protocol lacks, or an
+/// unwritable checkpoint path.
+struct RunnerError {
+  std::string message;
+};
+
+/// Run `job` under `spec`, checkpointing to and resuming from
+/// `checkpoint_path`. Leaves the final checkpoint in place (the caller
+/// unlinks it after journaling the result). Throws RunnerError.
+JobResult run_one_job(const JobSpec& job, const SweepSpec& spec,
+                      const std::string& checkpoint_path);
+
+}  // namespace popproto

@@ -38,6 +38,10 @@ LOWER_IS_BETTER = {
     "bytes",
     "snapshot_bytes",
     "wall_seconds",
+    # popsweep suite (src/sweep/): per-job and whole-sweep wall time.
+    "job_wall_seconds",
+    "sweep_wall_seconds",
+    "total_job_wall_seconds",
 }
 
 

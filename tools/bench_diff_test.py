@@ -95,6 +95,31 @@ def main():
         rc, out, err = run_diff(bench_diff, path, "--metric", "save_ms")
         check("save_ms decrease passes", rc == 0, f"rc={rc}\n{out}\n{err}")
 
+        # --- popsweep wall-time extras are known cost metrics: rising sweep
+        # wall time regresses, falling passes, no flag required.
+        write_history(path, [
+            ("aaaa11112222", "popsweep",
+             [{"name": "sweep_total", "sweep_wall_seconds": 4.0},
+              {"name": "sweep_j1", "job_wall_seconds": 1.0}]),
+            ("bbbb33334444", "popsweep",
+             [{"name": "sweep_total", "sweep_wall_seconds": 8.0},
+              {"name": "sweep_j1", "job_wall_seconds": 1.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path,
+                                "--metric", "sweep_wall_seconds")
+        check("sweep_wall_seconds increase flags regression", rc == 1,
+              f"rc={rc}\n{out}\n{err}")
+        write_history(path, [
+            ("aaaa11112222", "popsweep",
+             [{"name": "sweep_j1", "job_wall_seconds": 2.0}]),
+            ("bbbb33334444", "popsweep",
+             [{"name": "sweep_j1", "job_wall_seconds": 1.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path,
+                                "--metric", "job_wall_seconds")
+        check("job_wall_seconds decrease passes", rc == 0,
+              f"rc={rc}\n{out}\n{err}")
+
         # --- --lower-is-better forces cost semantics for unknown metrics.
         write_history(path, [
             ("aaaa11112222", "bench_x",
