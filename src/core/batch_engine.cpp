@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "persist/snapshot.hpp"
+#include "support/thread_pool.hpp"
 
 namespace popproto {
 
@@ -20,9 +21,12 @@ constexpr std::size_t kMinUsableShard = 2;
 // Fisher–Yates bound fits in 32 bits and the shuffle can run on half-words,
 // halving the generator advances (the dominant cost of the shuffle). Each
 // half rejects independently — the accepted stream is still exactly uniform.
+// Words come through the shard's bulk-draw buffer, which consumes the
+// generator in the same order as direct calls would (support/rng.hpp), so
+// the shuffle trajectory is unchanged by the buffering.
 class HalfWordDraws {
  public:
-  explicit HalfWordDraws(Rng& rng) : rng_(rng) {}
+  HalfWordDraws(BulkDraws& draws, Rng& rng) : draws_(draws), rng_(rng) {}
 
   std::uint32_t below(std::uint32_t bound) {
     for (;;) {
@@ -43,11 +47,12 @@ class HalfWordDraws {
       buffered_ = false;
       return static_cast<std::uint32_t>(word_ >> 32);
     }
-    word_ = rng_();
+    word_ = draws_.next(rng_);
     buffered_ = true;
     return static_cast<std::uint32_t>(word_);
   }
 
+  BulkDraws& draws_;
   Rng& rng_;
   std::uint64_t word_ = 0;
   bool buffered_ = false;
@@ -84,6 +89,7 @@ BatchEngine::BatchEngine(const Protocol& protocol, std::vector<State> initial,
   for (std::size_t s = 0; s < t; ++s) {
     const std::size_t take = base + (s < extra ? 1 : 0);
     Shard sh{Rng(splitmix64(sm)),
+             {},
              0,
              {},
              {},
@@ -121,6 +127,14 @@ void BatchEngine::set_scheduler_bias(std::optional<SchedulerBias> bias) {
 }
 
 void BatchEngine::worker_loop(std::size_t shard_index) {
+  // Opt-in affinity (POPPROTO_PIN_SHARDS, docs/TUNING.md): worker w runs
+  // shard w for the engine's whole lifetime, so pinning it to CPU w keeps
+  // the shard's arena and caches resident in one core's private levels.
+  // Shard 0 runs on the driving thread, which we never pin — it is the
+  // caller's thread and may be running other backends or the popprotod
+  // event loop.
+  if (shard_pinning_requested())
+    pin_current_thread(static_cast<unsigned>(shard_index));
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -220,7 +234,7 @@ void BatchEngine::shard_round(Shard& sh) {
   // dies with the local draw state, so the pairing loop below resumes the
   // stream at a whole-word boundary.
   {
-    HalfWordDraws draw(sh.rng);
+    HalfWordDraws draw(sh.draws, sh.rng);
     for (std::size_t i = m - 1; i > 0; --i) {
       const std::size_t j = draw.below(static_cast<std::uint32_t>(i + 1));
       std::swap(slots[i], slots[j]);
@@ -228,19 +242,71 @@ void BatchEngine::shard_round(Shard& sh) {
   }
   const bool dropping = static_cast<bool>(injection_.drop_interaction);
   const bool biased = bias_ && bias_->epsilon > 0.0;
-  std::uint64_t pairs = 0;
-  for (std::size_t i = 0; i + 1 < m; i += 2) {
-    ++pairs;
-    if (biased && sh.rng.chance(bias_->epsilon) &&
-        !bias_->prefer.matches(states_[slot_id(slots[i])]) &&
-        bias_->prefer.matches(states_[slot_id(slots[i + 1])]))
-      std::swap(slots[i], slots[i + 1]);
-    if (dropping && injection_.drop_interaction(sh.rng)) {
-      ++sh.ctr.dropped_interactions;
-      continue;
+  const std::uint64_t pairs = m / 2;
+  if (dropping || biased) {
+    // Hook draws (bias coin, dropout) take the raw generator by reference
+    // and interleave with the pairing uniforms, so the buffer must be at
+    // its logical position before the first of them fires. Scalar loop —
+    // hook paths are fault-injection territory, not the throughput path.
+    sh.draws.flush(sh.rng);
+    for (std::size_t i = 0; i + 1 < m; i += 2) {
+      if (biased && sh.rng.chance(bias_->epsilon) &&
+          !bias_->prefer.matches(states_[slot_id(slots[i])]) &&
+          bias_->prefer.matches(states_[slot_id(slots[i + 1])]))
+        std::swap(slots[i], slots[i + 1]);
+      if (dropping && injection_.drop_interaction(sh.rng)) {
+        ++sh.ctr.dropped_interactions;
+        continue;
+      }
+      const double u = sh.rng.uniform();
+      resolve(sh, slots[i], slots[i + 1], u);
     }
-    const double u = sh.rng.uniform();
-    resolve(sh, slots[i], slots[i + 1], u);
+  } else {
+    // Hook-free fast path: resolve in blocks. Draw all of a block's fused
+    // uniforms up front (legal because resolves never draw — the word
+    // sequence is identical to the interleaved order), then let the cache
+    // prescan classify proven no-op pairs in one vector pass; only the
+    // surviving lanes take the scalar resolve. Pairs within a round are
+    // disjoint by construction (consecutive entries of one permutation),
+    // so the precomputed interned indices cannot be invalidated by an
+    // earlier lane in the same block.
+    constexpr std::size_t kBlock = 16;
+    static_assert(kBlock <= 64, "prescan mask is one 64-bit word");
+    std::uint32_t ia[kBlock];
+    std::uint32_t ib[kBlock];
+    double bu[kBlock];
+    for (std::uint64_t p0 = 0; p0 < pairs; p0 += kBlock) {
+      const std::size_t cnt =
+          static_cast<std::size_t>(std::min<std::uint64_t>(kBlock, pairs - p0));
+      for (std::size_t j = 0; j < cnt; ++j)
+        bu[j] = sh.draws.uniform(sh.rng);
+      bool fast = true;
+      for (std::size_t j = 0; j < cnt; ++j) {
+        const std::size_t i = 2 * static_cast<std::size_t>(p0 + j);
+        ia[j] = static_cast<std::uint32_t>(slots[i] >> 32);
+        ib[j] = static_cast<std::uint32_t>(slots[i + 1] >> 32);
+        fast &= (ia[j] != TransitionCache::kNoState) &
+                (ib[j] != TransitionCache::kNoState);
+      }
+      if (fast) {
+        std::uint64_t slow = sh.cache.prescan_slow(ia, ib, bu, cnt);
+#ifdef POPPROTO_PROFILE
+        sh.ctr.cache_hits +=
+            cnt - static_cast<std::size_t>(__builtin_popcountll(slow));
+#endif
+        while (slow != 0) {
+          const auto j = static_cast<std::size_t>(__builtin_ctzll(slow));
+          slow &= slow - 1;
+          const std::size_t i = 2 * static_cast<std::size_t>(p0 + j);
+          resolve(sh, slots[i], slots[i + 1], bu[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < cnt; ++j) {
+          const std::size_t i = 2 * static_cast<std::size_t>(p0 + j);
+          resolve(sh, slots[i], slots[i + 1], bu[j]);
+        }
+      }
+    }
   }
   sh.pairs = pairs;
 }
@@ -458,13 +524,17 @@ void BatchEngine::snapshot(std::ostream& out) const {
   w.section(SnapshotSection::kPopulation, popn);
 
   // Stream order mirrors construction: migration stream first, then one
-  // stream per shard in shard order.
+  // stream per shard in shard order. Shard streams are written at their
+  // *logical* position (raw generator rewound past unconsumed bulk-draw
+  // read-ahead), so the 4-word format is unchanged and a snapshot taken
+  // mid-buffer restores bit-identically.
   std::string rng;
   BinWriter r(rng);
   r.u64(1 + shards_.size());
   for (const std::uint64_t word : migrate_rng_.state()) r.u64(word);
   for (const Shard& sh : shards_)
-    for (const std::uint64_t word : sh.rng.state()) r.u64(word);
+    for (const std::uint64_t word : sh.draws.logical(sh.rng).state())
+      r.u64(word);
   w.section(SnapshotSection::kRngStreams, rng);
 
   std::string ctrs;
@@ -616,6 +686,10 @@ void BatchEngine::restore(std::istream& in) {
   states_ = std::move(st.states);
   for (std::size_t s = 0; s < t; ++s) {
     shards_[s].slots = std::move(staged_slots[s]);
+    // Drop buffered read-ahead *without* rewinding: the saved stream words
+    // are already a logical position, and the raw generator is about to be
+    // overwritten anyway.
+    shards_[s].draws.reset();
     shards_[s].rng.set_state(st.rngs[1 + s]);
     shards_[s].ctr = st.shard_ctrs[s];
     shards_[s].pairs = 0;

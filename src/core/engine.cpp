@@ -216,6 +216,10 @@ void Engine::fire_round_hooks_if_due() {
 }
 
 bool Engine::step() {
+  // Single-step paths draw from rng_ directly (hooks and bias take Rng&);
+  // any read-ahead the plain run_steps loop buffered must be rewound first
+  // so the stream stays in as-if-sequential order.
+  draws_.flush(rng_);
   if (scheduler_ == SchedulerKind::kSequential) {
     sequential_step();
   } else {
@@ -225,15 +229,46 @@ bool Engine::step() {
   return true;
 }
 
+namespace {
+
+// All 2m agent ids distinct? (64-entry open-addressing probe; the block is
+// tiny, so this is a handful of L1 hits per lane.) Distinctness is what
+// lets the block's interned indices be loaded up front: no resolve in the
+// block can then touch another lane's agents.
+bool block_ids_disjoint(const std::uint32_t* a, const std::uint32_t* b,
+                        std::size_t m) {
+  constexpr std::uint32_t kEmpty = ~0u;
+  std::uint32_t tbl[64];
+  std::fill(std::begin(tbl), std::end(tbl), kEmpty);
+  const auto insert = [&](std::uint32_t id) {
+    std::uint32_t h = (id * 0x9e3779b9u) >> 26;
+    while (tbl[h] != kEmpty) {
+      if (tbl[h] == id) return false;
+      h = (h + 1) & 63u;
+    }
+    tbl[h] = id;
+    return true;
+  };
+  for (std::size_t j = 0; j < m; ++j)
+    if (!insert(a[j]) || !insert(b[j])) return false;
+  return true;
+}
+
+}  // namespace
+
 void Engine::run_steps(std::uint64_t k) {
   // Specialized loop for the plain configuration (sequential scheduler,
   // cached kernel, no bias, no hooks, no churn so far). Nothing observable
-  // differs from k plain step() calls — the RNG draw order (pair, then
-  // outcome uniform, per step) and all counters are identical — but the
-  // next step's draws happen before the current one resolves, so its
-  // scattered index loads are prefetched while the current step's loads are
-  // still in flight. No hooks can run, so none of the guard conditions can
-  // change mid-loop.
+  // differs from k plain step() calls — the RNG word order (pair draws,
+  // then the outcome uniform, per step) and all counters are identical —
+  // but the draws come from the bulk buffer (refilled 1024 words at a
+  // time) and are precomputed a block of 16 steps ahead, so the scattered
+  // sidx_ loads of the whole block prefetch while earlier steps resolve.
+  // Within a block whose agents are pairwise distinct, the pair-table
+  // prescan (TransitionCache::prescan_slow, SIMD-gathered) proves the
+  // no-op lanes — the dominant case — in one pass, and only the lanes that
+  // may change state take the scalar kernel. No hooks can run, so none of
+  // the guard conditions can change mid-loop.
   if (k == 0) return;
   const bool plain = scheduler_ == SchedulerKind::kSequential && use_cache_ &&
                      !bias_ && !injection_.drop_interaction &&
@@ -244,21 +279,48 @@ void Engine::run_steps(std::uint64_t k) {
   }
   if (pop_.version() != pop_version_seen_) resync_sidx();
   const std::uint64_t n = active_.size();
-  auto [a, b] = rng_.distinct_pair(n);
-  double u = rng_.uniform();
-  for (std::uint64_t i = 0; i < k; ++i) {
-    const auto ca = static_cast<std::uint32_t>(a);
-    const auto cb = static_cast<std::uint32_t>(b);
-    const double cu = u;
-    if (i + 1 < k) {
-      std::tie(a, b) = rng_.distinct_pair(n);
-      u = rng_.uniform();
+  constexpr std::size_t kBlock = 16;
+  std::uint32_t ba[kBlock], bb[kBlock], ia[kBlock], ib[kBlock];
+  double bu[kBlock];
+  std::uint64_t done = 0;
+  while (done < k) {
+    const auto m =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBlock, k - done));
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto [a, b] = draws_.distinct_pair(rng_, n);
+      ba[j] = static_cast<std::uint32_t>(a);
+      bb[j] = static_cast<std::uint32_t>(b);
+      bu[j] = draws_.uniform(rng_);
       __builtin_prefetch(&sidx_[a]);
       __builtin_prefetch(&sidx_[b]);
     }
-    ++interactions_;
-    time_ += inv_active_;
-    resolve_cached(ca, cb, cu);
+    // time_ accumulates in the same per-step order as the step loop (the
+    // resolves never touch it, so hoisting it out of the resolve loop is
+    // bit-preserving).
+    for (std::size_t j = 0; j < m; ++j) time_ += inv_active_;
+    interactions_ += m;
+    bool fast = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      ia[j] = sidx_[ba[j]];
+      ib[j] = sidx_[bb[j]];
+      fast = fast && ia[j] != TransitionCache::kNoState &&
+             ib[j] != TransitionCache::kNoState;
+    }
+    if (fast && block_ids_disjoint(ba, bb, m)) {
+      const std::uint64_t slow = cache_.prescan_slow(ia, ib, bu, m);
+#ifdef POPPROTO_PROFILE
+      ctr_.cache_hits +=
+          m - static_cast<std::uint64_t>(__builtin_popcountll(slow));
+#endif
+      for (std::uint64_t bits = slow; bits != 0; bits &= bits - 1) {
+        const auto j =
+            static_cast<std::size_t>(__builtin_ctzll(bits));
+        resolve_cached(ba[j], bb[j], bu[j]);
+      }
+    } else {
+      for (std::size_t j = 0; j < m; ++j) resolve_cached(ba[j], bb[j], bu[j]);
+    }
+    done += m;
   }
 }
 
@@ -315,7 +377,11 @@ void Engine::snapshot(std::ostream& out) const {
   std::string rng;
   BinWriter r(rng);
   r.u64(1);  // stream count
-  for (const std::uint64_t word : rng_.state()) r.u64(word);
+  // The *logical* stream state: rng_ rewound past any unconsumed bulk-draw
+  // read-ahead (support/rng.hpp BulkDraws). Same 4-word format as ever — a
+  // snapshot taken mid-buffer restores to the exact next unconsumed draw,
+  // and old snapshots stay readable.
+  for (const std::uint64_t word : draws_.logical(rng_).state()) r.u64(word);
   w.section(SnapshotSection::kRngStreams, rng);
 
   std::string ctrs;
@@ -414,6 +480,7 @@ void Engine::restore(std::istream& in) {
   pop_version_seen_ = pop_.version();
   inv_active_ = 1.0 / static_cast<double>(active_.size());
   active_identity_ = identity;
+  draws_.reset();  // buffered read-ahead belongs to the overwritten stream
   rng_.set_state(st.rng);
   scheduler_ = static_cast<SchedulerKind>(st.scheduler);
   use_cache_ = st.use_cache;

@@ -134,8 +134,18 @@ class Engine final : public SimBackend {
   std::uint64_t interactions() const override { return interactions_; }
   const AgentPopulation& population() const { return pop_; }
   AgentPopulation& population() { return pop_; }
-  Rng& rng() { return rng_; }
+  /// Direct access to the engine's stream. Flushes the bulk-draw buffer
+  /// first (support/rng.hpp BulkDraws) so the returned generator is at the
+  /// exact as-if-sequential position — callers may draw from or compare it
+  /// without seeing buffered read-ahead.
+  Rng& rng() {
+    draws_.flush(rng_);
+    return rng_;
+  }
   std::size_t n() const { return pop_.size(); }
+  /// Bulk-draw words buffered but not yet consumed (tests pin the
+  /// mid-buffer snapshot contract on this being nonzero).
+  std::size_t rng_buffer_pending() const { return draws_.pending(); }
 
  protected:
   EventTrace* event_trace() const override { return trace_; }
@@ -160,6 +170,10 @@ class Engine final : public SimBackend {
   const Protocol& protocol_;
   AgentPopulation pop_;
   Rng rng_;
+  // Bulk-draw buffer over rng_, consumed only by the plain run_steps loop.
+  // Invariant: every other draw site (step paths, hooks, bias) sees the
+  // buffer flushed, so rng_ alone carries the stream there.
+  BulkDraws draws_;
   SchedulerKind scheduler_;
   TransitionCache cache_;
   bool use_cache_ = true;

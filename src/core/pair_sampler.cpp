@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace popproto {
 
@@ -241,9 +242,13 @@ std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
   const double h = kD1 * c + kD2;
   const auto m = static_cast<std::uint64_t>((samp + 1.0) * (mingb + 1.0) /
                                             (pop + 2.0));  // pmf mode
-  const double g = log_factorial(m) + log_factorial(good - m) +
-                   log_factorial(sample - m) +
-                   log_factorial(bad - sample + m);
+  // The log-pmf is a sum of four log-factorials; both the one-time mode
+  // evaluation and the per-attempt candidate evaluation batch them through
+  // the vector kernel (bit-identical to four scalar calls).
+  std::uint64_t lf_args[4] = {m, good - m, sample - m, bad - sample + m};
+  double lf[4];
+  log_factorial_batch(lf_args, lf, 4);
+  const double g = lf[0] + lf[1] + lf[2] + lf[3];
   const double b =
       std::min(std::min(samp, mingb) + 1.0, std::floor(a + 16.0 * c));
   for (;;) {
@@ -252,9 +257,12 @@ std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
     const double x = a + h * (v - 0.5) / u;
     if (x < 0.0 || x >= b) continue;
     const auto k = static_cast<std::uint64_t>(x);
-    const double gp = log_factorial(k) + log_factorial(good - k) +
-                      log_factorial(sample - k) +
-                      log_factorial(bad - sample + k);
+    lf_args[0] = k;
+    lf_args[1] = good - k;
+    lf_args[2] = sample - k;
+    lf_args[3] = bad - sample + k;
+    log_factorial_batch(lf_args, lf, 4);
+    const double gp = lf[0] + lf[1] + lf[2] + lf[3];
     const double t = g - gp;
     if (u * (4.0 - u) - 3.0 <= t) return k;  // fast accept
     if (u * (u - t) >= 1.0) continue;        // fast reject
@@ -274,6 +282,10 @@ double log_factorial(std::uint64_t k) {
       inv / 12.0 - inv * inv2 / 360.0 + inv * inv2 * inv2 / 1260.0;
   constexpr double kHalfLog2Pi = 0.9189385332046727;  // log(2 pi) / 2
   return (x + 0.5) * std::log(x) - x + kHalfLog2Pi + series;
+}
+
+void log_factorial_batch(const std::uint64_t* k, double* out, std::size_t n) {
+  simd::log_factorial_fill(log_fact_table(), kLogFactTableSize, k, out, n);
 }
 
 std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p) {

@@ -6,6 +6,9 @@
 //    BatchEngine at t = 1, 2, 4 shards;
 //  * RNG stream restore regression: BatchEngine's split per-shard streams
 //    and migration stream compare equal generator-state-for-generator-state;
+//  * mid-buffer snapshots: a snapshot taken while bulk-draw read-ahead is
+//    pending restores bit-identically (all four backends, counters-section
+//    exempt like replay_check);
 //  * malformed snapshots: truncations, a fuzz loop of single-byte flips,
 //    wrong magic/version/backend/fingerprint, shard-count mismatch — every
 //    one throws a typed SnapshotError and leaves the target engine
@@ -29,6 +32,7 @@
 #include "clocks/phase_clock.hpp"
 #include "core/batch_engine.hpp"
 #include "core/count_engine.hpp"
+#include "core/count_shard_engine.hpp"
 #include "core/engine.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
@@ -177,6 +181,128 @@ TEST(RngStreams, BatchEngineSplitStreamsRestoreExactly) {
           << rng_state_hex(ref.shard_rng(s));
     }
   }
+}
+
+// -- Mid-buffer snapshots (bulk-draw read-ahead, DESIGN.md §13) --------------
+// The buffered engines' raw generators run AHEAD of the draws actually
+// consumed; snapshots must serialize the logical position so a snapshot
+// taken mid-buffer restores bit-identically. Protocol: run to an arbitrary
+// point, snapshot, restore into a diverged instance, advance both equally,
+// and require byte-equal snapshots on every section except kCounters —
+// cache-warmth counters legitimately differ after a restore (caches are
+// derived state, relearned lazily), the same convention replay_check uses.
+
+std::string snapshot_sans_counters(const SimBackend& backend) {
+  const std::string bytes = snapshot_bytes(backend);
+  BinReader r(bytes);
+  std::string out;
+  BinWriter w(out);
+  w.u32(r.u32());  // magic
+  w.u32(r.u32());  // version
+  for (;;) {
+    const std::uint32_t tag = r.u32();
+    const std::uint64_t len = r.u64();
+    const std::uint32_t crc = r.u32();
+    std::string payload;
+    for (std::uint64_t i = 0; i < len; ++i)
+      payload.push_back(static_cast<char>(r.u8()));
+    if (tag != static_cast<std::uint32_t>(SnapshotSection::kCounters)) {
+      w.u32(tag);
+      w.u64(len);
+      w.u32(crc);
+      for (const char ch : payload) w.u8(static_cast<std::uint8_t>(ch));
+    }
+    if (tag == static_cast<std::uint32_t>(SnapshotSection::kEnd)) return out;
+  }
+}
+
+TEST(MidBufferSnapshot, AgentEngineRestoresBitIdentically) {
+  ClockFixture fx(2048);
+  Engine ref(fx.proto, fx.init, /*seed=*/7);
+  // The plain run_steps loop is the (only) buffered consumer; a step count
+  // that is no multiple of the refill size lands mid-buffer.
+  ref.run_steps(5001);
+  ASSERT_GT(ref.rng_buffer_pending(), 0u)
+      << "step count landed on a refill boundary; the test needs read-ahead";
+  const std::string snap = snapshot_bytes(ref);
+  const std::string sans = snapshot_sans_counters(ref);
+
+  Engine res(fx.proto, fx.init, /*seed=*/99);  // diverged target
+  res.run_steps(1234);
+  restore_bytes(res, snap);
+  EXPECT_EQ(snapshot_sans_counters(res), sans);
+
+  ref.run_steps(4321);
+  res.run_steps(4321);
+  EXPECT_EQ(snapshot_sans_counters(res), snapshot_sans_counters(ref));
+  EXPECT_EQ(res.species(), ref.species());
+}
+
+TEST(MidBufferSnapshot, BatchEngineRestoresBitIdentically) {
+  ClockFixture fx(4096);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    BatchEngine::Params params;
+    params.threads = threads;
+    params.min_shard = 256;
+    BatchEngine ref(fx.proto, fx.init, /*seed=*/7, params);
+    ref.run_rounds(5.0);  // per-shard buffers sit mid-refill generically
+    const std::string snap = snapshot_bytes(ref);
+    const std::string sans = snapshot_sans_counters(ref);
+
+    BatchEngine res(fx.proto, fx.init, /*seed=*/7, params);
+    res.run_rounds(2.0);
+    restore_bytes(res, snap);
+    EXPECT_EQ(snapshot_sans_counters(res), sans) << "t=" << threads;
+
+    ref.run_rounds(6.0);
+    res.run_rounds(6.0);
+    EXPECT_EQ(snapshot_sans_counters(res), snapshot_sans_counters(ref))
+        << "t=" << threads;
+    EXPECT_EQ(res.species(), ref.species()) << "t=" << threads;
+  }
+}
+
+// The count backends hold no read-ahead, but the same continue-and-compare
+// protocol pins the full four-backend matrix the replay contract covers.
+TEST(MidBufferSnapshot, CountEngineRestoresBitIdentically) {
+  MajorityFixture fx(4096);
+  CountEngine ref(fx.proto, {{fx.a, 2048}, {fx.b, 2048}}, /*seed=*/7,
+                  CountEngineMode::kBatch);
+  ref.run_rounds(9.0);
+  const std::string snap = snapshot_bytes(ref);
+  const std::string sans = snapshot_sans_counters(ref);
+
+  CountEngine res(fx.proto, {{fx.a, 2048}, {fx.b, 2048}}, /*seed=*/31,
+                  CountEngineMode::kBatch);
+  res.run_rounds(3.0);
+  restore_bytes(res, snap);
+  EXPECT_EQ(snapshot_sans_counters(res), sans);
+
+  ref.run_rounds(7.0);
+  res.run_rounds(7.0);
+  EXPECT_EQ(snapshot_sans_counters(res), snapshot_sans_counters(ref));
+}
+
+TEST(MidBufferSnapshot, CountShardEngineRestoresBitIdentically) {
+  MajorityFixture fx(1 << 16);
+  CountShardEngine::Params params;
+  params.shards = 4;
+  params.min_shard = 256;
+  CountShardEngine ref(fx.proto, {{fx.a, 1u << 15}, {fx.b, 1u << 15}},
+                       /*seed=*/7, params);
+  ref.run_rounds(9.0);
+  const std::string snap = snapshot_bytes(ref);
+  const std::string sans = snapshot_sans_counters(ref);
+
+  CountShardEngine res(fx.proto, {{fx.a, 1u << 15}, {fx.b, 1u << 15}},
+                       /*seed=*/7, params);
+  res.run_rounds(3.0);
+  restore_bytes(res, snap);
+  EXPECT_EQ(snapshot_sans_counters(res), sans);
+
+  ref.run_rounds(7.0);
+  res.run_rounds(7.0);
+  EXPECT_EQ(snapshot_sans_counters(res), snapshot_sans_counters(ref));
 }
 
 // -- Malformed snapshots (satellite 3) ---------------------------------------

@@ -9,14 +9,21 @@ percentage next to the commit that introduced it.
 
 Exit status is nonzero when any record's chosen metric moved in the bad
 direction by more than ``--threshold`` (fraction, default 0.25). Direction
-is metric-dependent: throughput metrics (interactions_per_sec, ...) regress
-when they DROP; cost metrics (save_ms, load_ms, snapshot_bytes,
-wall_seconds, ...) regress when they RISE. Known cost metrics are
-recognized by name; ``--lower-is-better`` forces the cost interpretation
-for metrics the table doesn't know. CI runs this warn-only
-(continue-on-error): hosted-runner noise routinely exceeds any honest
-threshold, so the signal is the printed table, not the gate. For local
-before/after runs on quiet hardware the exit code is trustworthy.
+is metric-dependent and resolved from two explicit tables: throughput
+metrics (HIGHER_IS_BETTER: interactions_per_sec, ...) regress when they
+DROP; cost metrics (LOWER_IS_BETTER: save_ms, load_ms, snapshot_bytes,
+wall_seconds, ...) regress when they RISE. ``--lower-is-better`` forces
+the cost interpretation for metrics neither table knows (unknown metrics
+otherwise default to higher-is-better, with a note).
+
+Rows whose ``degraded_parallelism`` extra flipped between the two compared
+entries are annotated and excluded from the gate: the delta measures the
+host (the affinity mask shrank or grew between runs), not the code.
+
+CI runs this warn-only (continue-on-error): hosted-runner noise routinely
+exceeds any honest threshold, so the signal is the printed table, not the
+gate. For local before/after runs on quiet hardware the exit code is
+trustworthy.
 
 Usage:
   tools/bench_diff.py [BENCH_engine.json]
@@ -28,10 +35,20 @@ import argparse
 import json
 import sys
 
-# Metrics where a smaller number is the better one. Deltas for these flip
-# sign in the regression test: +30% save_ms is a regression, -30% is an
-# improvement. Anything not listed is treated as higher-is-better unless
-# --lower-is-better says otherwise.
+# Explicit direction tables. A metric name appears in exactly one of them;
+# metrics in neither default to higher-is-better (with a printed note)
+# unless --lower-is-better says otherwise.
+#
+# Throughput-style metrics: a DROP is a regression.
+HIGHER_IS_BETTER = {
+    "interactions_per_sec",
+    "effective_interactions_per_sec",
+    # popprotod suite (src/server/): served requests per second.
+    "requests_per_sec",
+}
+
+# Cost-style metrics: a RISE is a regression. Deltas for these flip sign in
+# the regression test: +30% save_ms is a regression, -30% an improvement.
 LOWER_IS_BETTER = {
     "save_ms",
     "load_ms",
@@ -43,6 +60,9 @@ LOWER_IS_BETTER = {
     "sweep_wall_seconds",
     "total_job_wall_seconds",
 }
+
+assert not (HIGHER_IS_BETTER & LOWER_IS_BETTER), \
+    "a metric cannot be in both direction tables"
 
 
 def load_history(path):
@@ -60,7 +80,12 @@ def load_history(path):
 
 
 def latest_two_per_record(history, metric, suite):
-    """Yield (name, old_entry, old_value, new_entry, new_value)."""
+    """Yield (name, old_entry, old_rec, new_entry, new_rec) pairs.
+
+    old_rec/new_rec are the full record dicts (values plus flattened
+    extras such as degraded_parallelism), so callers can inspect more
+    than the one compared metric.
+    """
     if suite:
         history = [h for h in history if h.get("suite") == suite]
     # Walk newest-first; the first entry containing a name is "new", the
@@ -73,14 +98,14 @@ def latest_two_per_record(history, metric, suite):
             if not name or not isinstance(value, (int, float)) or value <= 0:
                 continue
             if name not in seen:
-                seen[name] = (entry, value, None, None)
+                seen[name] = (entry, rec, None, None)
             elif seen[name][2] is None:
-                new_entry, new_value, _, _ = seen[name]
-                seen[name] = (new_entry, new_value, entry, value)
+                new_entry, new_rec, _, _ = seen[name]
+                seen[name] = (new_entry, new_rec, entry, rec)
     for name in sorted(seen):
-        new_entry, new_value, old_entry, old_value = seen[name]
+        new_entry, new_rec, old_entry, old_rec = seen[name]
         if old_entry is not None:
-            yield name, old_entry, old_value, new_entry, new_value
+            yield name, old_entry, old_rec, new_entry, new_rec
 
 
 def main():
@@ -98,6 +123,10 @@ def main():
     args = ap.parse_args()
 
     lower_better = args.lower_is_better or args.metric in LOWER_IS_BETTER
+    if (not lower_better and args.metric not in HIGHER_IS_BETTER
+            and not args.lower_is_better):
+        print(f"note: metric {args.metric!r} is in neither direction table; "
+              f"assuming higher is better (--lower-is-better overrides)")
 
     history = load_history(args.file)
     rows = list(latest_two_per_record(history, args.metric, args.suite))
@@ -106,6 +135,7 @@ def main():
         return 0
 
     regressions = []
+    flips = []
     sha = lambda e: e.get("git_sha", "unknown")[:12]
     direction = "lower is better" if lower_better else "higher is better"
     print(f"{args.file}: {args.metric} ({direction}), "
@@ -113,18 +143,34 @@ def main():
     print(f"{'record':<36} {'previous':>12} {'latest':>12} {'delta':>8}"
           f"  {'previous..latest'}")
     pairs = set()
-    for name, old_e, old_v, new_e, new_v in rows:
+    for name, old_e, old_rec, new_e, new_rec in rows:
+        old_v = old_rec[args.metric]
+        new_v = new_rec[args.metric]
         delta = (new_v - old_v) / old_v
+        # A degraded_parallelism flip means the host changed shape between
+        # the two runs (affinity mask grew or shrank): the delta measures
+        # the machine, not the code, so the row is annotated and ungated.
+        old_deg = old_rec.get("degraded_parallelism")
+        new_deg = new_rec.get("degraded_parallelism")
+        flipped = (old_deg is not None or new_deg is not None) \
+            and old_deg != new_deg
         # A regression is movement in the bad direction: a drop for
         # throughput-style metrics, a rise for cost-style ones.
         bad = delta > args.threshold if lower_better else \
             delta < -args.threshold
-        flag = "  <-- regression" if bad else ""
-        if bad:
-            regressions.append((name, delta))
+        if flipped:
+            flips.append(name)
+            flag = "  <-- degraded_parallelism flipped (host change; ungated)"
+        else:
+            flag = "  <-- regression" if bad else ""
+            if bad:
+                regressions.append((name, delta))
         pairs.add((sha(old_e), sha(new_e)))
         print(f"{name:<36} {old_v:>12.4g} {new_v:>12.4g} {delta:>+7.1%}"
               f"  {sha(old_e)}..{sha(new_e)}{flag}")
+    if flips:
+        print(f"{len(flips)} record(s) changed degraded_parallelism between "
+              f"entries; their deltas reflect the host, not the code")
     # Each record pairs its own two most recent appearances, which need not
     # come from the same history entries across records — so the footer only
     # names a single previous/latest pair when there really is just one.

@@ -133,6 +133,72 @@ def main():
                             "--lower-is-better")
         check("--lower-is-better flips unknown metric", rc == 1, f"rc={rc}")
 
+        # --- explicit direction tables: the three throughput metrics all
+        # flag drops (effective_interactions_per_sec and requests_per_sec
+        # must behave exactly like interactions_per_sec).
+        for metric in ("effective_interactions_per_sec", "requests_per_sec"):
+            write_history(path, [
+                ("aaaa11112222", "bench_x",
+                 [{"name": "r", metric: 1000.0}]),
+                ("bbbb33334444", "bench_x",
+                 [{"name": "r", metric: 500.0}]),
+            ])
+            rc, out, err = run_diff(bench_diff, path, "--metric", metric)
+            check(f"{metric} drop flags regression", rc == 1,
+                  f"rc={rc}\n{out}\n{err}")
+            check(f"{metric} direction announced", "higher is better" in out,
+                  out)
+            check(f"{metric} known to direction table",
+                  "neither direction table" not in out, out)
+        # An unknown metric still prints the assuming-higher note.
+        write_history(path, [
+            ("aaaa11112222", "bench_x", [{"name": "r", "queue_depth": 10.0}]),
+            ("bbbb33334444", "bench_x", [{"name": "r", "queue_depth": 20.0}]),
+        ])
+        rc, out, _ = run_diff(bench_diff, path, "--metric", "queue_depth")
+        check("unknown metric notes missing direction",
+              "neither direction table" in out, out)
+
+        # --- degraded_parallelism flips: a 60% throughput drop coinciding
+        # with a 0 -> 1 degraded_parallelism flip is the host shrinking, not
+        # a code regression — the row is annotated and the gate passes.
+        write_history(path, [
+            ("aaaa11112222", "bench_kernel",
+             [{"name": "batch_t4", "interactions_per_sec": 1000.0,
+               "degraded_parallelism": 0.0},
+              {"name": "batch_t1", "interactions_per_sec": 1000.0,
+               "degraded_parallelism": 0.0}]),
+            ("bbbb33334444", "bench_kernel",
+             [{"name": "batch_t4", "interactions_per_sec": 400.0,
+               "degraded_parallelism": 1.0},
+              {"name": "batch_t1", "interactions_per_sec": 1000.0,
+               "degraded_parallelism": 0.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path)
+        check("degraded flip ungates the drop", rc == 0,
+              f"rc={rc}\n{out}\n{err}")
+        check("degraded flip annotated",
+              any("batch_t4" in line and "degraded_parallelism flipped"
+                  in line for line in out.splitlines()), out)
+        check("degraded flip summarized",
+              "changed degraded_parallelism" in out, out)
+        check("stable record not annotated",
+              not any("batch_t1" in line and "flipped" in line
+                      for line in out.splitlines()), out)
+        # The same drop WITHOUT a flip still gates: the annotation keys off
+        # the flip, not off the extra merely being present.
+        write_history(path, [
+            ("aaaa11112222", "bench_kernel",
+             [{"name": "batch_t4", "interactions_per_sec": 1000.0,
+               "degraded_parallelism": 1.0}]),
+            ("bbbb33334444", "bench_kernel",
+             [{"name": "batch_t4", "interactions_per_sec": 400.0,
+               "degraded_parallelism": 1.0}]),
+        ])
+        rc, out, err = run_diff(bench_diff, path)
+        check("same-degraded drop still gates", rc == 1,
+              f"rc={rc}\n{out}\n{err}")
+
         # --- footer: records whose latest pairs come from different entry
         # pairs must not be summarized by rows[0]'s shas.
         write_history(path, [
